@@ -1,0 +1,59 @@
+"""Design-choice ablation benches (DESIGN.md §5)."""
+
+import numpy as np
+
+from repro.core.series import TASDConfig
+from repro.experiments import ablations
+
+
+def test_ablation_greedy_extraction(once):
+    result = once(ablations.ablate_greedy_extraction)
+    print(
+        f"\ngreedy vs random 2:4 extraction at density {result.density}: "
+        f"dropped magnitude {result.greedy_dropped_magnitude:.3f} vs "
+        f"{result.random_dropped_magnitude:.3f} "
+        f"({result.advantage:.1f}x worse without greedy)"
+    )
+    assert result.advantage > 1.5
+
+
+def test_ablation_dataflow(once):
+    result = once(ablations.ablate_dataflow)
+    print(
+        f"\ndecomposition-aware dataflow on {result.layer} ({result.config}): "
+        f"naive per-term B/C re-fetch costs {result.penalty:.2f}x EDP"
+    )
+    assert result.penalty > 1.05
+
+
+def test_ablation_tasd_units(once):
+    result = once(ablations.ablate_tasd_units)
+    print("\n" + result.table())
+    stalls = {u: s for u, s, _ in result.rows}
+    assert stalls[result.little_bound] == 0
+
+
+def test_ablation_alpha_sensitivity(once):
+    """α sensitivity of the TASD-A rule on the full-size dense ResNet50."""
+    from repro.tasder.config import TTC_VEGETA_M8
+    from repro.workloads import dense_resnet50
+
+    def sweep():
+        wl = dense_resnet50()
+        rows = []
+        for alpha in (-0.1, 0.0, 0.1, 0.2, 0.3):
+            densities = [
+                TTC_VEGETA_M8.select_by_sparsity(1.0 - l.stat_density, alpha).density
+                for l in wl.layers
+            ]
+            macs = sum(l.shape.macs for l in wl.layers)
+            eff = sum(d * l.shape.macs for d, l in zip(densities, wl.layers)) / macs
+            rows.append((alpha, eff))
+        return rows
+
+    rows = once(sweep)
+    print("\nalpha  MAC fraction (dense ResNet50, TTC-VEGETA-M8 menu)")
+    for alpha, eff in rows:
+        print(f"{alpha:+.1f}   {eff:.3f}")
+    fracs = [eff for _, eff in rows]
+    assert fracs == sorted(fracs, reverse=True)  # larger α ⇒ more aggressive

@@ -1,0 +1,23 @@
+"""Design-space exploration bench: flexibility vs benefit (Section 5.2)."""
+
+from repro.experiments.reporting import format_table
+from repro.hw.dse import sweep_block_size, sweep_term_budget
+
+
+def test_dse_term_budget(once):
+    points = once(sweep_term_budget, 8, (1, 2, 3))
+    rows = [(p.label, p.max_terms, p.menu_size, p.geomean_edp) for p in points]
+    print("\n" + format_table(
+        ["design", "TASD terms", "menu size", "geomean EDP"],
+        rows, title="DSE: TASD term budget at M=8"))
+    assert points[1].geomean_edp <= points[0].geomean_edp * 1.02
+
+
+def test_dse_block_size(once):
+    points = once(sweep_block_size, (4, 8, 16), 2)
+    rows = [(p.label, p.block_size, p.menu_size, p.geomean_edp) for p in points]
+    print("\n" + format_table(
+        ["design", "block size M", "menu size", "geomean EDP"],
+        rows, title="DSE: block size at 2 TASD terms"))
+    edp = {p.block_size: p.geomean_edp for p in points}
+    assert edp[8] <= edp[4] * 1.02  # the paper's M4 -> M8 improvement

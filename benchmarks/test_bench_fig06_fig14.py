@@ -1,0 +1,30 @@
+"""EXP-F6 / EXP-F14 — trained-model figures (per-layer sparsity; net-wise vs
+layer-wise TASD).  First invocation trains and caches the scaled models."""
+
+from repro.experiments import fig06_layer_sparsity, fig14_netwise_layerwise
+
+
+def test_fig06_layer_sparsity(once):
+    result = once(fig06_layer_sparsity.run)
+    print("\n" + result.table())
+    # Fig. 6 shape: deep weight sparsity with a denser first layer,
+    # activations oscillating well below the weight series.
+    assert result.overall_weight_sparsity > 0.8
+    assert result.weight_sparsity[0] < max(result.weight_sparsity)
+    assert 0.1 < sum(result.activation_sparsity) / len(result.activation_sparsity) < 0.9
+
+
+def test_fig14_netwise_vs_layerwise(once):
+    result = once(fig14_netwise_layerwise.run)
+    print("\n" + result.table("weights"))
+    print("\n" + result.table("activations"))
+    gate_w = 0.99 * result.original_accuracy_sparse
+    netwise_ok = [
+        p.approximated_sparsity
+        for p in result.weight_points
+        if p.series.startswith("netwise") and p.accuracy >= gate_w
+    ]
+    # Some aggressive configuration must pass the gate on the sparse model...
+    assert max(netwise_ok) >= 0.375
+    # ...and fully dense always passes.
+    assert 0.0 in netwise_ok

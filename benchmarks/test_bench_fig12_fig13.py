@@ -1,0 +1,25 @@
+"""EXP-F12 / EXP-F13 — regenerate Fig. 12 (EDP) and Fig. 13 (latency/energy).
+
+Prints the same rows the paper plots: per-representative-layer and Overall
+normalized EDP for every Table 3 design, then the latency/energy pairs.
+"""
+
+from repro.experiments import fig12_edp
+
+
+def test_fig12_edp(once):
+    result = once(fig12_edp.run)
+    print("\n" + result.edp_table())
+    # Headline shape checks (details in tests/experiments).
+    assert result.cell("Sparse ResNet50", "TTC-VEGETA-M8").edp < 0.3
+    assert result.cell("Dense BERT", "DSTC").edp > 1.5
+    m8 = result.geomean_edp("TTC-VEGETA-M8")
+    print(f"\nTTC-VEGETA-M8 geomean EDP: {m8:.3f} "
+          f"(paper: ~0.30 => 70 % average improvement)")
+
+
+def test_fig13_latency_energy(once):
+    result = once(fig12_edp.run)
+    print("\n" + result.latency_energy_table())
+    for wl in result.workloads:
+        assert result.cell(wl, "TTC-VEGETA-M8").energy < 1.0

@@ -1,0 +1,37 @@
+"""EXP-F15/F17/F18/F19 — the fast analytical figures."""
+
+from repro.experiments import (
+    fig15_energy_breakdown,
+    fig17_synthetic,
+    fig18_matmul_error,
+    fig19_ablation,
+)
+
+
+def test_fig15_energy_breakdown(once):
+    result = once(fig15_energy_breakdown.run)
+    print("\n" + result.table())
+    assert 0.3 < result.savings < 0.75
+
+
+def test_fig17_synthetic_drops(once):
+    result = once(fig17_synthetic.run)
+    print("\n" + result.table())
+    idx = result.densities.index(0.1)
+    assert result.dropped_nnz["2 terms (2:4+2:8)"][idx] < 0.01
+
+
+def test_fig18_matmul_error(once):
+    result = once(fig18_matmul_error.run)
+    print("\n" + result.table())
+    # N:8 beats N:4 at 50 % approximated sparsity (expressiveness).
+    n4 = {p.approximated_sparsity: p.error for p in result.series("Unstructured 20% with N:4")}
+    n8 = {p.approximated_sparsity: p.error for p in result.series("Unstructured 20% with N:8")}
+    assert n8[0.5] < n4[0.5]
+
+
+def test_fig19_ablation(once):
+    result = once(fig19_ablation.run)
+    print("\n" + result.table())
+    assert result.edp[("Unstr ResNet50", "VEGETA")] == 1.0
+    assert result.edp[("Unstr ResNet50", "VEGETA w/ TASDER")] < 0.4

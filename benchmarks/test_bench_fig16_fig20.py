@@ -1,0 +1,28 @@
+"""EXP-F16 / EXP-RS / EXP-F20 — the real-system sweep and the model zoo."""
+
+from repro.experiments import fig16_gpu, fig20_model_zoo
+
+
+def test_fig16_gpu_resnet34(once):
+    result = once(fig16_gpu.run)
+    print("\n" + result.table())
+    best = result.best_valid
+    print(f"\nbest valid point: {best.num_layers} layers, "
+          f"{best.speedup - 1:.1%} speed-up, accuracy {best.accuracy:.4f} "
+          f"(paper: 28-39 % with <=1.5 % accuracy drop)")
+    # Section 5.5's shape: >=20 % speed-up within the 99 % gate.
+    assert best.speedup > 1.20
+    # Speed-up grows monotonically with converted layers.
+    speedups = [p.speedup for p in result.points]
+    assert speedups == sorted(speedups)
+
+
+def test_fig20_model_zoo(once):
+    result = once(fig20_model_zoo.run)
+    print("\n" + result.table())
+    # Paper: ~49 % MAC reduction for TASD-W zoo, ~32 % for TASD-A zoo.
+    assert result.mean_mac_fraction("TASD-W") < 0.75
+    assert result.mean_mac_fraction("TASD-A") < 0.95
+    for entry in result.entries:
+        if entry.mode == "TASD-W":
+            assert entry.meets_gate, entry.model

@@ -1,0 +1,66 @@
+"""Micro-benchmarks of the functional kernels (real repeated timing).
+
+Unlike the figure benches (one-shot experiment drivers), these measure the
+library's own hot paths with full pytest-benchmark statistics.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import NMPattern, TASDConfig, nm_compress, nm_matmul, pattern_view, tasd_matmul
+from repro.gpu import compress_2to4, prune_2to4, sparse_matmul_2to4
+
+
+@pytest.fixture(scope="module")
+def operands():
+    rng = np.random.default_rng(0)
+    a = rng.normal(size=(256, 512)) * (rng.random((256, 512)) < 0.5)
+    b = rng.normal(size=(512, 128))
+    return a, b
+
+
+def test_kernel_pattern_view(benchmark, operands):
+    a, _ = operands
+    out = benchmark(pattern_view, a, NMPattern(2, 8))
+    assert out.shape == a.shape
+
+
+def test_kernel_decompose_two_terms(benchmark, operands):
+    a, _ = operands
+    config = TASDConfig.parse("4:8+1:8")
+    dec = benchmark(config.apply, a)
+    assert dec.order == 2
+
+
+def test_kernel_dense_matmul_reference(benchmark, operands):
+    a, b = operands
+    benchmark(np.matmul, a, b)
+
+
+def test_kernel_nm_matmul(benchmark, operands):
+    a, b = operands
+    c = nm_compress(pattern_view(a, NMPattern(2, 8)), NMPattern(2, 8))
+    out = benchmark(nm_matmul, c, b)
+    assert out.shape == (256, 128)
+
+
+def test_kernel_tasd_matmul(benchmark, operands):
+    a, b = operands
+    config = TASDConfig.parse("4:8+1:8")
+    out = benchmark(tasd_matmul, a, b, config)
+    assert out.shape == (256, 128)
+
+
+def test_kernel_2to4_compress(benchmark):
+    rng = np.random.default_rng(1)
+    w = prune_2to4(rng.normal(size=(512, 512)))
+    benchmark(compress_2to4, w)
+
+
+def test_kernel_2to4_matmul(benchmark):
+    rng = np.random.default_rng(2)
+    w = prune_2to4(rng.normal(size=(256, 512)))
+    x = rng.normal(size=(512, 64))
+    c = compress_2to4(w)
+    out = benchmark(sparse_matmul_2to4, c, x)
+    assert np.allclose(out, w @ x)

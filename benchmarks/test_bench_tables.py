@@ -1,0 +1,23 @@
+"""EXP-T1/T2/T3/T4 — regenerate the paper's tables."""
+
+from repro.experiments import tables
+
+
+def test_table01_capabilities(once):
+    print("\n" + once(tables.table1))
+
+
+def test_table02_patterns(once):
+    out = once(tables.table2)
+    print("\n" + out)
+    assert "2:8+1:8" in out  # Table 2's signature composition
+
+
+def test_table03_designs(once):
+    print("\n" + once(tables.table3))
+
+
+def test_table04_layers(once):
+    out = once(tables.table4)
+    print("\n" + out)
+    assert "M784-N128-K1152" in out

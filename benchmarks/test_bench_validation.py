@@ -1,0 +1,10 @@
+"""Aggregate fidelity bench: rank-correlate measured EDP with the paper."""
+
+from repro.experiments.validation import validate_against_paper
+
+
+def test_validation_against_paper(once):
+    result = once(validate_against_paper)
+    print("\n" + result.table())
+    assert result.spearman > 0.85
+    assert result.max_log2_error < 1.0

@@ -1,0 +1,22 @@
+"""Evaluate the Table 3 accelerator designs on the paper's workloads.
+
+Reproduces the Fig. 12 sweep in miniature and prints the per-design EDP,
+latency and energy tables plus one layer-level energy breakdown.
+
+Run:  python examples/accelerator_edp.py
+"""
+
+from repro.experiments import fig12_edp, fig15_energy_breakdown, tables
+
+print(tables.table3())
+print()
+print(tables.table4())
+print()
+
+result = fig12_edp.run()
+print(result.edp_table())
+print()
+print(result.latency_energy_table())
+print()
+
+print(fig15_energy_breakdown.run().table())

@@ -1,0 +1,68 @@
+"""Advanced features: permutation, generalized patterns, training, mapping.
+
+Tour of the library's extensions beyond the paper's core evaluation (all
+flagged as future work or generalisations in the paper's text):
+
+1. channel permutation before decomposition (Section 6.1);
+2. TASD with non-N:M structured patterns (Section 3's generality claim);
+3. TASD-compressed gradients during training (Section 6.2);
+4. mapping search on the analytical accelerator (Section 5.1's mappers).
+
+Run:  python examples/advanced_extensions.py
+"""
+
+import numpy as np
+
+from repro.core import NMPattern, TASDConfig, decompose_with_permutation
+from repro.core.patterns_ext import BlockPattern, VectorPattern, generalized_decompose
+from repro.hw import DenseTC, LayerSpec, search_mapping
+from repro.nn import synthetic_images
+from repro.nn.models import MLP
+from repro.tasder import train_with_tasd_gradients
+from repro.tensor.random import sparse_normal
+
+# ---------------------------------------------------------------------------
+# 1. Channel permutation: rebalance blocks before taking the 2:4 view.
+# ---------------------------------------------------------------------------
+w = np.zeros((32, 64))
+rng = np.random.default_rng(0)
+w[:, :16] = rng.normal(size=(32, 16)) * 10.0  # heavy columns crowd 4 blocks
+w[:, 16:] = rng.normal(size=(32, 48)) * 0.1
+result = decompose_with_permutation(w, TASDConfig.parse("2:4"))
+print(f"permutation gain in kept magnitude: {result.improvement:+.1%}")
+
+# ---------------------------------------------------------------------------
+# 2. Mixing pattern families in one TASD series.
+# ---------------------------------------------------------------------------
+x = sparse_normal((64, 256), density=0.7, seed=1)
+dec = generalized_decompose(
+    x,
+    [
+        NMPattern(2, 4),                      # fine-grained first term
+        BlockPattern(block=4, keep=1, total=2),  # coarse second term
+        VectorPattern(1, 4),                  # vector-wise third term
+    ],
+)
+dropped = np.abs(dec.residual).sum() / np.abs(x).sum()
+print(f"mixed-pattern series drops {dropped:.2%} of magnitude over 3 terms")
+
+# ---------------------------------------------------------------------------
+# 3. Training with structured-sparse gradients.
+# ---------------------------------------------------------------------------
+ds = synthetic_images(n_train=128, n_eval=64, size=8, noise=0.4, seed=2)
+model = MLP(192, (64,), 10, rng=np.random.default_rng(2))
+flat = ds.x_train.reshape(128, -1)
+run = train_with_tasd_gradients(model, flat, ds.y_train, TASDConfig.parse("4:8+2:8"),
+                                epochs=5, lr=2e-3)
+print(f"TASD-gradient training: {run.final_accuracy:.1%} accuracy at "
+      f"{run.compute_density:.0%} backward compute, "
+      f"mean gradient error {run.mean_gradient_error:.3f}")
+
+# ---------------------------------------------------------------------------
+# 4. Mapping search on a Table 4 layer.
+# ---------------------------------------------------------------------------
+model_hw = DenseTC()
+spec = LayerSpec(name="RN50-L1", m=784, k=1152, n=128)
+best, candidates = search_mapping(model_hw, spec)
+print(f"mapping search: {len(candidates)} legal tilings, best EDP "
+      f"{best.edp:.3e} with tiles tm2={best.tiles.tm2} tn2={best.tiles.tn2}")

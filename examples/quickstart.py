@@ -1,0 +1,48 @@
+"""Quickstart: TASD in five minutes (the Fig. 4 walk-through).
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import NMPattern, TASDConfig, compose_menu, decompose, tasd_matmul
+from repro.core import menu_table, report
+
+# ---------------------------------------------------------------------------
+# 1. The paper's Fig. 4 matrix: 2x8, 37.5 % sparse, element sum 25.
+# ---------------------------------------------------------------------------
+A = np.array(
+    [
+        [1, 3, 0, 0, 2, 4, 4, 1],
+        [2, 0, 0, 0, 0, 3, 1, 4],
+    ],
+    dtype=float,
+)
+print("original matrix A:\n", A)
+
+# One 2:4 term: keeps the 2 largest magnitudes of every 4-block.
+one_term = decompose(A, [NMPattern(2, 4)])
+print("\nA1 (2:4 view):\n", one_term.terms[0].tensor)
+print("R1 (residual):\n", one_term.residual)
+print(report(one_term))
+
+# Add a 2:8 term extracted from the residual: now lossless for this matrix.
+two_terms = decompose(A, [NMPattern(2, 4), NMPattern(2, 8)])
+print("\nwith a second 2:8 term:", report(two_terms))
+assert two_terms.is_lossless
+
+# ---------------------------------------------------------------------------
+# 2. The distributive property: A @ B as a sum of structured sparse GEMMs.
+# ---------------------------------------------------------------------------
+B = np.random.default_rng(0).normal(size=(8, 4))
+config = TASDConfig.parse("2:4+2:8")
+C_tasd = tasd_matmul(A, B, config)
+print("\nmax |A@B - TASD(A)@B| =", np.abs(A @ B - C_tasd).max())
+
+# ---------------------------------------------------------------------------
+# 3. Table 2: what a TTC-VEGETA-M8 can execute with <= 2 TASD terms.
+# ---------------------------------------------------------------------------
+menu = compose_menu([NMPattern(1, 8), NMPattern(2, 8), NMPattern(4, 8)], max_terms=2)
+print("\nTable 2 — effective patterns on TTC-VEGETA-M8:")
+for pattern, series in menu_table(menu, m=8):
+    print(f"  {pattern:>4s} -> {series}")

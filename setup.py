@@ -1,0 +1,6 @@
+"""Legacy setup shim: the offline environment lacks the ``wheel`` package,
+so ``pip install -e .`` must use the setup.py-based editable path."""
+
+from setuptools import setup
+
+setup()

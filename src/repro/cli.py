@@ -1,0 +1,130 @@
+"""Command-line interface: regenerate any paper table/figure from a shell.
+
+Usage::
+
+    python -m repro.cli list                 # what can be regenerated
+    python -m repro.cli fig12                # normalized EDP (Figs. 12/13)
+    python -m repro.cli table2               # the TTC-VEGETA pattern menu
+    python -m repro.cli fig16 --batch 64     # the GPU sweep at batch 64
+    python -m repro.cli all                  # everything (trains the zoo)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+__all__ = ["main"]
+
+
+def _fig12(args: argparse.Namespace) -> str:
+    from repro.experiments import fig12_edp
+
+    result = fig12_edp.run(batch=args.batch)
+    return result.edp_table() + "\n\n" + result.latency_energy_table()
+
+
+def _fig15(args: argparse.Namespace) -> str:
+    from repro.experiments import fig15_energy_breakdown
+
+    return fig15_energy_breakdown.run().table()
+
+
+def _fig17(args: argparse.Namespace) -> str:
+    from repro.experiments import fig17_synthetic
+
+    return fig17_synthetic.run().table()
+
+
+def _fig18(args: argparse.Namespace) -> str:
+    from repro.experiments import fig18_matmul_error
+
+    return fig18_matmul_error.run().table()
+
+
+def _fig19(args: argparse.Namespace) -> str:
+    from repro.experiments import fig19_ablation
+
+    return fig19_ablation.run().table()
+
+
+def _fig06(args: argparse.Namespace) -> str:
+    from repro.experiments import fig06_layer_sparsity
+
+    return fig06_layer_sparsity.run().table()
+
+
+def _fig14(args: argparse.Namespace) -> str:
+    from repro.experiments import fig14_netwise_layerwise
+
+    result = fig14_netwise_layerwise.run()
+    return result.table("weights") + "\n\n" + result.table("activations")
+
+
+def _fig16(args: argparse.Namespace) -> str:
+    from repro.experiments import fig16_gpu
+
+    return fig16_gpu.run(batch=args.batch).table()
+
+
+def _fig20(args: argparse.Namespace) -> str:
+    from repro.experiments import fig20_model_zoo
+
+    return fig20_model_zoo.run().table()
+
+
+def _table(n: int) -> Callable[[argparse.Namespace], str]:
+    def runner(args: argparse.Namespace) -> str:
+        from repro.experiments import tables
+
+        return getattr(tables, f"table{n}")()
+
+    return runner
+
+
+COMMANDS: dict[str, tuple[Callable[[argparse.Namespace], str], str]] = {
+    "table1": (_table(1), "HW capability matrix"),
+    "table2": (_table(2), "TTC-VEGETA-M8 pattern menu (via TASD composition)"),
+    "table3": (_table(3), "evaluated HW designs"),
+    "table4": (_table(4), "representative layer dimensions"),
+    "fig6": (_fig06, "per-layer sparsity of the sparse ResNet-50 [trains models]"),
+    "fig12": (_fig12, "normalized EDP across designs and workloads (+Fig. 13)"),
+    "fig14": (_fig14, "network-wise vs layer-wise TASD [trains models]"),
+    "fig15": (_fig15, "energy breakdown, TTC vs dense TC"),
+    "fig16": (_fig16, "2:4 TASD-W on the modelled GPU [trains models]"),
+    "fig17": (_fig17, "synthetic drop rates (Appendix A)"),
+    "fig18": (_fig18, "matmul error vs approximated sparsity (Appendix A)"),
+    "fig19": (_fig19, "system ablation (Appendix B)"),
+    "fig20": (_fig20, "model-zoo MAC reductions [trains models]"),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Regenerate the paper's tables and figures."
+    )
+    parser.add_argument(
+        "experiment",
+        help="one of: list, all, " + ", ".join(COMMANDS),
+    )
+    parser.add_argument("--batch", type=int, default=1, help="batch size where applicable")
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for name, (_, desc) in COMMANDS.items():
+            print(f"{name:8s} {desc}")
+        return 0
+    if args.experiment == "all":
+        for name, (runner, _) in COMMANDS.items():
+            print(f"\n================ {name} ================")
+            print(runner(args))
+        return 0
+    if args.experiment not in COMMANDS:
+        parser.error(f"unknown experiment {args.experiment!r}; try 'list'")
+    print(COMMANDS[args.experiment][0](args))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

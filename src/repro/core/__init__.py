@@ -1,0 +1,89 @@
+"""TASD core: structured sparse patterns, decomposition, series, and kernels.
+
+The paper's primary contribution (Section 3): approximate any sparse tensor
+with a series of N:M structured sparse tensors and execute tensor algebra
+distributively over the terms.
+"""
+
+from .analysis import (
+    expected_dropped_nonzero_fraction,
+    expected_kept_nonzero_fraction,
+    monte_carlo_dropped_fraction,
+    probability_block_legal,
+    series_expected_dropped_fraction,
+)
+from .decompose import Decomposition, TASDTerm, decompose, extract_term
+from .metrics import (
+    ApproximationReport,
+    density,
+    dropped_magnitude_fraction,
+    dropped_nonzero_fraction,
+    matmul_relative_error,
+    relative_frobenius_error,
+    report,
+    sparsity_degree,
+)
+from .patterns_ext import BlockPattern, StructuredPattern, VectorPattern, generalized_decompose
+from .permute import (
+    PermutationResult,
+    decompose_with_permutation,
+    greedy_balance_permutation,
+    invert_permutation,
+    kept_magnitude,
+    permute_columns,
+)
+from .patterns import (
+    NMPattern,
+    block_view,
+    is_pattern_legal,
+    pattern_mask,
+    pattern_view,
+    unblock_view,
+)
+from .series import DENSE_CONFIG, TASDConfig, compose_menu, menu_table
+from .sparse_ops import CompressedNM, nm_compress, nm_decompress, nm_matmul, tasd_matmul
+
+__all__ = [
+    "NMPattern",
+    "TASDConfig",
+    "DENSE_CONFIG",
+    "TASDTerm",
+    "Decomposition",
+    "CompressedNM",
+    "decompose",
+    "extract_term",
+    "pattern_view",
+    "pattern_mask",
+    "is_pattern_legal",
+    "block_view",
+    "unblock_view",
+    "compose_menu",
+    "menu_table",
+    "nm_compress",
+    "nm_decompress",
+    "nm_matmul",
+    "tasd_matmul",
+    "sparsity_degree",
+    "density",
+    "dropped_nonzero_fraction",
+    "dropped_magnitude_fraction",
+    "relative_frobenius_error",
+    "matmul_relative_error",
+    "report",
+    "ApproximationReport",
+    "expected_dropped_nonzero_fraction",
+    "expected_kept_nonzero_fraction",
+    "series_expected_dropped_fraction",
+    "probability_block_legal",
+    "monte_carlo_dropped_fraction",
+    "BlockPattern",
+    "VectorPattern",
+    "StructuredPattern",
+    "generalized_decompose",
+    "PermutationResult",
+    "decompose_with_permutation",
+    "greedy_balance_permutation",
+    "invert_permutation",
+    "permute_columns",
+    "kept_magnitude",
+]

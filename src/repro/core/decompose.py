@@ -1,0 +1,124 @@
+"""Structured decomposition: extracting TASD terms from a tensor.
+
+Implements the core mechanism of Section 3: a TASD term is the pattern view
+of the running residual, and the residual after extraction feeds the next
+term.  ``A = A1 + R1``, ``R1 = A2 + R2``, … so that ``A ≈ Σ Ai`` with the
+error carried entirely by the final residual.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .patterns import NMPattern, pattern_view
+
+__all__ = ["TASDTerm", "Decomposition", "extract_term", "decompose"]
+
+
+@dataclass(frozen=True)
+class TASDTerm:
+    """One term of a TASD series: a pattern and its extracted tensor."""
+
+    pattern: NMPattern
+    tensor: np.ndarray
+
+    @property
+    def nnz(self) -> int:
+        """Number of non-zeros this term covers."""
+        return int(np.count_nonzero(self.tensor))
+
+    @property
+    def magnitude(self) -> float:
+        """Sum of absolute values this term covers."""
+        return float(np.abs(self.tensor).sum())
+
+
+@dataclass
+class Decomposition:
+    """The result of decomposing a tensor into a TASD series.
+
+    Attributes
+    ----------
+    original : np.ndarray
+        The tensor that was decomposed.
+    terms : list of TASDTerm
+        Extracted structured sparse terms, in extraction order.
+    residual : np.ndarray
+        ``original - Σ terms``; what the approximation drops.
+    axis : int
+        The axis along which blocks were formed.
+    """
+
+    original: np.ndarray
+    terms: list[TASDTerm] = field(default_factory=list)
+    residual: np.ndarray = None  # type: ignore[assignment]
+    axis: int = -1
+
+    def __post_init__(self) -> None:
+        if self.residual is None:
+            self.residual = np.array(self.original, copy=True)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def order(self) -> int:
+        """Number of TASD terms."""
+        return len(self.terms)
+
+    @property
+    def patterns(self) -> tuple[NMPattern, ...]:
+        return tuple(t.pattern for t in self.terms)
+
+    def reconstruct(self) -> np.ndarray:
+        """The approximation ``Σ Ai`` (excludes the residual)."""
+        if not self.terms:
+            return np.zeros_like(self.original)
+        out = np.zeros_like(self.original)
+        for term in self.terms:
+            out = out + term.tensor
+        return out
+
+    @property
+    def is_lossless(self) -> bool:
+        """True when the residual holds no non-zeros (Fig. 4's 2:4 + 2:8 case)."""
+        return not np.any(self.residual)
+
+    # ------------------------------------------------------------------ #
+    def extract(self, pattern: NMPattern) -> TASDTerm:
+        """Extract one more term from the current residual, in place."""
+        term_tensor = pattern_view(self.residual, pattern, axis=self.axis)
+        term = TASDTerm(pattern, term_tensor)
+        self.terms.append(term)
+        self.residual = self.residual - term_tensor
+        return term
+
+
+def extract_term(
+    x: np.ndarray, pattern: NMPattern, axis: int = -1
+) -> tuple[np.ndarray, np.ndarray]:
+    """Extract a single TASD term; returns ``(term, residual)``.
+
+    Equivalent to Equation (1): ``x = term + residual`` with ``term`` a legal
+    ``pattern`` view of ``x`` holding the largest-magnitude elements.
+    """
+    term = pattern_view(x, pattern, axis=axis)
+    return term, np.asarray(x) - term
+
+
+def decompose(
+    x: np.ndarray,
+    patterns: Sequence[NMPattern] | Iterable[NMPattern],
+    axis: int = -1,
+) -> Decomposition:
+    """Decompose ``x`` into a TASD series with the given patterns (Eq. 2-4).
+
+    Each pattern is applied to the residual left by the previous term, so
+    earlier patterns capture the dominant magnitudes.  Passing an empty
+    sequence returns a decomposition whose residual is ``x`` itself.
+    """
+    dec = Decomposition(original=np.asarray(x), axis=axis)
+    for pattern in patterns:
+        dec.extract(pattern)
+    return dec

@@ -1,0 +1,113 @@
+"""Approximation-quality metrics for TASD decompositions.
+
+These are the quantities the paper tracks when judging a TASD series:
+fraction of dropped non-zeros, fraction of dropped magnitude (Fig. 4 / 17),
+and the relative matrix-multiplication error ``||(A - A*)B|| / ||A B||``
+(Fig. 18).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .decompose import Decomposition
+
+__all__ = [
+    "sparsity_degree",
+    "density",
+    "dropped_nonzero_fraction",
+    "dropped_magnitude_fraction",
+    "relative_frobenius_error",
+    "matmul_relative_error",
+    "ApproximationReport",
+    "report",
+]
+
+
+def sparsity_degree(x: np.ndarray) -> float:
+    """Fraction of zero elements (Section 2.1's sparsity degree)."""
+    x = np.asarray(x)
+    if x.size == 0:
+        return 0.0
+    return 1.0 - np.count_nonzero(x) / x.size
+
+
+def density(x: np.ndarray) -> float:
+    """Fraction of non-zero elements (``1 - sparsity_degree``)."""
+    return 1.0 - sparsity_degree(x)
+
+
+def dropped_nonzero_fraction(dec: Decomposition) -> float:
+    """Non-zeros the approximation drops, over the original non-zeros."""
+    total = np.count_nonzero(dec.original)
+    if total == 0:
+        return 0.0
+    return np.count_nonzero(dec.residual) / total
+
+
+def dropped_magnitude_fraction(dec: Decomposition) -> float:
+    """Absolute magnitude the approximation drops, over the original magnitude.
+
+    Because each term keeps the *largest* magnitudes first, this is always
+    at most :func:`dropped_nonzero_fraction` in expectation (Appendix A).
+    """
+    total = float(np.abs(dec.original).sum())
+    if total == 0.0:
+        return 0.0
+    return float(np.abs(dec.residual).sum()) / total
+
+
+def relative_frobenius_error(original: np.ndarray, approx: np.ndarray) -> float:
+    """``||original - approx||_F / ||original||_F`` (0 for a zero original)."""
+    denom = float(np.linalg.norm(original))
+    if denom == 0.0:
+        return 0.0
+    return float(np.linalg.norm(np.asarray(original) - np.asarray(approx))) / denom
+
+
+def matmul_relative_error(a: np.ndarray, a_approx: np.ndarray, b: np.ndarray) -> float:
+    """Fig. 18's metric: ``||(A - A*) B||_F / ||A B||_F``."""
+    exact = np.asarray(a) @ np.asarray(b)
+    denom = float(np.linalg.norm(exact))
+    if denom == 0.0:
+        return 0.0
+    err = (np.asarray(a) - np.asarray(a_approx)) @ np.asarray(b)
+    return float(np.linalg.norm(err)) / denom
+
+
+@dataclass(frozen=True)
+class ApproximationReport:
+    """Summary of one decomposition, mirroring the Fig. 4 walk-through."""
+
+    series: str
+    original_sparsity: float
+    approximated_density: float
+    dropped_nonzeros: float
+    dropped_magnitude: float
+    frobenius_error: float
+    lossless: bool
+
+    def __str__(self) -> str:  # pragma: no cover - formatting only
+        return (
+            f"series={self.series} orig_sparsity={self.original_sparsity:.3f} "
+            f"density={self.approximated_density:.3f} "
+            f"dropped_nnz={self.dropped_nonzeros:.3%} "
+            f"dropped_mag={self.dropped_magnitude:.3%} "
+            f"fro_err={self.frobenius_error:.4f} lossless={self.lossless}"
+        )
+
+
+def report(dec: Decomposition) -> ApproximationReport:
+    """Build an :class:`ApproximationReport` from a decomposition."""
+    approx = dec.reconstruct()
+    return ApproximationReport(
+        series="+".join(str(p) for p in dec.patterns) or "dense",
+        original_sparsity=sparsity_degree(dec.original),
+        approximated_density=min(1.0, sum(p.density for p in dec.patterns)) if dec.patterns else 1.0,
+        dropped_nonzeros=dropped_nonzero_fraction(dec),
+        dropped_magnitude=dropped_magnitude_fraction(dec),
+        frobenius_error=relative_frobenius_error(dec.original, approx),
+        lossless=dec.is_lossless,
+    )

@@ -1,0 +1,141 @@
+"""Structured sparsity patterns beyond N:M (Section 3: "the method is
+general and not limited to only N:M structured sparsity").
+
+TASD only needs a *view* operator — keep some elements, zero the rest,
+under a hardware-friendly constraint.  This module adds two such pattern
+families and a protocol so :func:`generalized_decompose` can mix them with
+N:M terms in one series:
+
+* :class:`BlockPattern` — coarse block sparsity (Narang et al., 2017):
+  keep the top-K blocks of a BxB grid per row group, by block magnitude.
+* :class:`VectorPattern` — vector-wise sparsity (Zhu et al., 2019's STC):
+  keep the top-N whole columns out of every M-column group.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from .decompose import Decomposition, TASDTerm
+
+__all__ = ["StructuredPattern", "BlockPattern", "VectorPattern", "generalized_decompose"]
+
+
+@runtime_checkable
+class StructuredPattern(Protocol):
+    """Anything that can produce a structured view of a 2-D matrix."""
+
+    def view(self, x: np.ndarray) -> np.ndarray:  # pragma: no cover - protocol
+        """The (possibly lossy) structured view of ``x``."""
+        ...
+
+    @property
+    def density(self) -> float:  # pragma: no cover - protocol
+        """Fraction of elements the view may keep."""
+        ...
+
+
+@dataclass(frozen=True)
+class BlockPattern:
+    """Keep the ``keep`` largest-magnitude BxB blocks per group of ``total``.
+
+    A coarse-grained analogue of N:M: the matrix is tiled into
+    ``block x block`` tiles; within every run of ``total`` consecutive tiles
+    (row-major), only the ``keep`` highest-magnitude tiles survive.
+    """
+
+    block: int
+    keep: int
+    total: int
+
+    def __post_init__(self) -> None:
+        if self.block <= 0:
+            raise ValueError("block size must be positive")
+        if not 0 < self.keep <= self.total:
+            raise ValueError(f"need 0 < keep <= total, got {self.keep}/{self.total}")
+
+    @property
+    def density(self) -> float:
+        return self.keep / self.total
+
+    def view(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x)
+        r, c = x.shape
+        if r % self.block or c % self.block:
+            raise ValueError(f"shape {x.shape} not tileable by {self.block}")
+        br, bc = r // self.block, c // self.block
+        tiles = x.reshape(br, self.block, bc, self.block).transpose(0, 2, 1, 3)
+        mass = np.abs(tiles).sum(axis=(2, 3)).reshape(-1)  # (br*bc,)
+        n_tiles = mass.size
+        if n_tiles % self.total:
+            raise ValueError(f"{n_tiles} tiles not divisible by group size {self.total}")
+        groups = mass.reshape(-1, self.total)
+        order = np.argsort(-groups, axis=-1, kind="stable")
+        ranks = np.empty_like(order)
+        np.put_along_axis(
+            ranks, order, np.broadcast_to(np.arange(self.total), groups.shape).copy(), axis=-1
+        )
+        keep_mask = (ranks < self.keep).reshape(br, bc)
+        out_tiles = np.where(keep_mask[:, :, None, None], tiles, 0.0)
+        return out_tiles.transpose(0, 2, 1, 3).reshape(r, c)
+
+
+@dataclass(frozen=True)
+class VectorPattern:
+    """Keep the ``n`` largest-magnitude whole columns per ``m``-column group.
+
+    Vector-wise sparsity as in the original Sparse Tensor Core proposal:
+    entire K-dim vectors survive or die together, which makes the hardware
+    even simpler than fine-grained N:M at the cost of approximation quality.
+    """
+
+    n: int
+    m: int
+
+    def __post_init__(self) -> None:
+        if not 0 < self.n <= self.m:
+            raise ValueError(f"need 0 < n <= m, got {self.n}:{self.m}")
+
+    @property
+    def density(self) -> float:
+        return self.n / self.m
+
+    def view(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x)
+        if x.shape[-1] % self.m:
+            raise ValueError(f"columns {x.shape[-1]} not divisible by {self.m}")
+        groups = np.abs(x).sum(axis=0).reshape(-1, self.m)
+        order = np.argsort(-groups, axis=-1, kind="stable")
+        ranks = np.empty_like(order)
+        np.put_along_axis(
+            ranks, order, np.broadcast_to(np.arange(self.m), groups.shape).copy(), axis=-1
+        )
+        col_mask = (ranks < self.n).reshape(-1)
+        return np.where(col_mask[None, :], x, 0.0)
+
+
+def generalized_decompose(
+    x: np.ndarray, patterns: list[StructuredPattern | object]
+) -> Decomposition:
+    """TASD with arbitrary structured patterns (mixable with NMPattern).
+
+    Each pattern contributes one term extracted from the running residual —
+    exactly the N:M algorithm with the view operator swapped out.  NMPattern
+    instances are adapted transparently.
+    """
+    from .patterns import NMPattern, pattern_view
+
+    dec = Decomposition(original=np.asarray(x))
+    for pattern in patterns:
+        if isinstance(pattern, NMPattern):
+            term_tensor = pattern_view(dec.residual, pattern, axis=-1)
+        elif isinstance(pattern, StructuredPattern):
+            term_tensor = pattern.view(dec.residual)
+        else:
+            raise TypeError(f"{type(pattern).__name__} is not a structured pattern")
+        dec.terms.append(TASDTerm(pattern, term_tensor))  # type: ignore[arg-type]
+        dec.residual = dec.residual - term_tensor
+    return dec

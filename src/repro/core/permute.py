@@ -1,0 +1,126 @@
+"""Channel permutation for better N:M views (Pool & Yu, 2021; Section 6.1).
+
+The paper notes TASD is compatible with channel permutation: reordering the
+columns of a weight matrix (the reduction axis) redistributes non-zeros
+across N:M blocks, which can raise the magnitude a view keeps — and the
+permutation is free at inference because the producing layer's output
+channels (or the GEMM's other operand) are permuted identically.
+
+This module implements a greedy balanced-assignment permutation search and
+the plumbing to apply/invert it, plus the combined "permute then decompose"
+pipeline the paper suggests as future work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .decompose import Decomposition, decompose
+from .patterns import NMPattern, pattern_view
+from .series import TASDConfig
+
+__all__ = [
+    "PermutationResult",
+    "kept_magnitude",
+    "greedy_balance_permutation",
+    "permute_columns",
+    "invert_permutation",
+    "decompose_with_permutation",
+]
+
+
+def kept_magnitude(w: np.ndarray, pattern: NMPattern) -> float:
+    """Total |magnitude| an N:M view of ``w`` keeps (the search objective)."""
+    return float(np.abs(pattern_view(w, pattern, axis=-1)).sum())
+
+
+def permute_columns(w: np.ndarray, permutation: np.ndarray) -> np.ndarray:
+    """Reorder the reduction-axis columns of a 2-D weight matrix."""
+    return np.asarray(w)[:, permutation]
+
+
+def invert_permutation(permutation: np.ndarray) -> np.ndarray:
+    """The inverse permutation (to apply to the matching operand)."""
+    inverse = np.empty_like(permutation)
+    inverse[permutation] = np.arange(len(permutation))
+    return inverse
+
+
+def greedy_balance_permutation(w: np.ndarray, pattern: NMPattern) -> np.ndarray:
+    """A permutation that balances column mass across N:M blocks.
+
+    Greedy bin packing: sort columns by their aggregate magnitude
+    (descending) and deal them round-robin into blocks, always placing the
+    next-heaviest column into the currently lightest block.  Heavy columns
+    stop crowding into the same block, so the top-N selection inside each
+    block wastes less magnitude.  O(K log K); deterministic.
+    """
+    w = np.asarray(w)
+    k = w.shape[-1]
+    if k % pattern.m != 0:
+        raise ValueError(f"reduction dim {k} not divisible by block size {pattern.m}")
+    n_blocks = k // pattern.m
+    column_mass = np.abs(w).sum(axis=0)
+    order = np.argsort(-column_mass, kind="stable")
+    block_load = np.zeros(n_blocks)
+    block_fill = np.zeros(n_blocks, dtype=int)
+    placement = np.empty(k, dtype=int)  # column -> target position
+    for col in order:
+        open_blocks = np.flatnonzero(block_fill < pattern.m)
+        target = open_blocks[np.argmin(block_load[open_blocks])]
+        placement[col] = target * pattern.m + block_fill[target]
+        block_fill[target] += 1
+        block_load[target] += column_mass[col]
+    # placement maps old column -> new position; we need new-order indices.
+    permutation = np.empty(k, dtype=int)
+    permutation[placement] = np.arange(k)
+    return permutation
+
+
+@dataclass
+class PermutationResult:
+    """Outcome of permutation-assisted decomposition."""
+
+    permutation: np.ndarray
+    decomposition: Decomposition
+    kept_magnitude_before: float
+    kept_magnitude_after: float
+
+    @property
+    def improvement(self) -> float:
+        """Relative gain in kept magnitude (>= 0 when the search helps)."""
+        if self.kept_magnitude_before == 0.0:
+            return 0.0
+        return self.kept_magnitude_after / self.kept_magnitude_before - 1.0
+
+
+def decompose_with_permutation(
+    w: np.ndarray, config: TASDConfig, pattern_for_search: NMPattern | None = None
+) -> PermutationResult:
+    """Permute the reduction axis, then decompose (Section 6.1's combination).
+
+    The permutation is searched against the first term's pattern (or an
+    explicit ``pattern_for_search``); the returned decomposition is of the
+    *permuted* matrix — consumers must permute the matching operand with
+    :func:`invert_permutation` (tested for exactness in the suite).
+    """
+    if config.is_dense or not config.patterns:
+        raise ValueError("permutation search needs a non-dense TASD config")
+    search_pattern = pattern_for_search or config.patterns[0]
+    before = kept_magnitude(w, search_pattern)
+    permutation = greedy_balance_permutation(w, search_pattern)
+    permuted = permute_columns(w, permutation)
+    after = kept_magnitude(permuted, search_pattern)
+    if after < before:
+        # Never make things worse: fall back to the identity permutation.
+        permutation = np.arange(w.shape[-1])
+        permuted = np.asarray(w)
+        after = before
+    return PermutationResult(
+        permutation=permutation,
+        decomposition=config.apply(permuted, axis=-1),
+        kept_magnitude_before=before,
+        kept_magnitude_after=after,
+    )

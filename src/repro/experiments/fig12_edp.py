@@ -1,0 +1,138 @@
+"""EXP-F12/F13 — Figs. 12 & 13: EDP / latency / energy across designs.
+
+Runs the four workloads (Table 4) through all six designs (Table 3) — with
+per-layer results for the representative layers L1/L2/L3 and the Overall
+aggregate, normalised to the dense TC — exactly the structure of Fig. 12's
+bar groups and Fig. 13's latency/energy pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hw import TABLE3_DESIGNS, build_model, geomean, normalize
+from repro.hw.accelerator import NetworkResult
+from repro.workloads import PAPER_WORKLOADS, Workload, build_layer_specs, representative_layers
+
+from .reporting import format_table
+
+__all__ = ["Fig12Cell", "Fig12Result", "run", "PAPER_EDP_REFERENCE"]
+
+# Normalised EDP values quoted in the paper's text (Section 5.2) used for
+# shape validation in EXPERIMENTS.md.
+PAPER_EDP_REFERENCE = {
+    ("Dense ResNet50", "DSTC"): 1.12,
+    ("Dense BERT", "DSTC"): 2.67,
+    ("Sparse ResNet50", "DSTC"): 0.13,
+    ("Sparse BERT", "DSTC"): 0.45,
+    ("Dense ResNet50", "TTC-STC-M4"): 0.96,
+    ("Dense BERT", "TTC-STC-M4"): 0.68,
+    ("Sparse ResNet50", "TTC-STC-M4"): 0.51,
+    ("Sparse BERT", "TTC-STC-M4"): 0.47,
+    ("Dense ResNet50", "TTC-VEGETA-M8"): 0.42,
+    ("Dense BERT", "TTC-VEGETA-M8"): 0.39,
+    ("Sparse ResNet50", "TTC-VEGETA-M8"): 0.17,
+    ("Sparse BERT", "TTC-VEGETA-M8"): 0.18,
+}
+
+
+@dataclass
+class Fig12Cell:
+    """One (workload, design) evaluation with per-representative-layer EDP."""
+
+    workload: str
+    design: str
+    edp: float
+    latency: float
+    energy: float
+    layer_edp: dict[str, float] = field(default_factory=dict)  # L1/L2/L3 -> normalized
+
+
+@dataclass
+class Fig12Result:
+    cells: list[Fig12Cell]
+    designs: list[str]
+    workloads: list[str]
+
+    def cell(self, workload: str, design: str) -> Fig12Cell:
+        for c in self.cells:
+            if c.workload == workload and c.design == design:
+                return c
+        raise KeyError((workload, design))
+
+    def geomean_edp(self, design: str) -> float:
+        return geomean([c.edp for c in self.cells if c.design == design])
+
+    # ------------------------------------------------------------------ #
+    def edp_table(self) -> str:
+        rows = []
+        for wl in self.workloads:
+            for label in ("L1", "L2", "L3", "Overall"):
+                row: list[object] = [wl, label]
+                for d in self.designs:
+                    c = self.cell(wl, d)
+                    row.append(c.layer_edp.get(label, c.edp) if label != "Overall" else c.edp)
+                rows.append(tuple(row))
+        rows.append(tuple(["Geomean", "Overall"] + [self.geomean_edp(d) for d in self.designs]))
+        return format_table(
+            ["Workload", "Layer"] + self.designs, rows,
+            title="Fig. 12 — normalized EDP (lower is better, TC = 1.0)",
+        )
+
+    def latency_energy_table(self) -> str:
+        rows = []
+        for wl in self.workloads:
+            for metric in ("Latency", "Energy"):
+                row: list[object] = [wl, metric]
+                for d in self.designs:
+                    c = self.cell(wl, d)
+                    row.append(c.latency if metric == "Latency" else c.energy)
+                rows.append(tuple(row))
+        gm_l = ["Geomean", "Latency"] + [
+            geomean([self.cell(w, d).latency for w in self.workloads]) for d in self.designs
+        ]
+        gm_e = ["Geomean", "Energy"] + [
+            geomean([self.cell(w, d).energy for w in self.workloads]) for d in self.designs
+        ]
+        rows.extend([tuple(gm_l), tuple(gm_e)])
+        return format_table(
+            ["Workload", "Metric"] + self.designs, rows,
+            title="Fig. 13 — normalized latency and energy (TC = 1.0)",
+        )
+
+
+def _layer_results_by_name(result: NetworkResult) -> dict[str, float]:
+    return {r.name: r.edp for r in result.layers}
+
+
+def run(batch: int = 1) -> Fig12Result:
+    workloads = PAPER_WORKLOADS(batch)
+    designs = [build_model(name) for name in TABLE3_DESIGNS]
+    cells: list[Fig12Cell] = []
+    for wl in workloads:
+        reps = representative_layers(wl)
+        rep_names = {label: layer.name for label, layer in reps.items()}
+        baseline = designs[0].model.run_network(build_layer_specs(wl, designs[0]))
+        base_layer_edp = _layer_results_by_name(baseline)
+        for design in designs:
+            result = design.model.run_network(build_layer_specs(wl, design))
+            norm = normalize(result, baseline)
+            layer_edp = {
+                label: _layer_results_by_name(result)[name] / base_layer_edp[name]
+                for label, name in rep_names.items()
+            }
+            cells.append(
+                Fig12Cell(
+                    workload=wl.name,
+                    design=design.name,
+                    edp=norm.edp,
+                    latency=norm.latency,
+                    energy=norm.energy,
+                    layer_edp=layer_edp,
+                )
+            )
+    return Fig12Result(
+        cells=cells,
+        designs=[d.name for d in designs],
+        workloads=[wl.name for wl in workloads],
+    )

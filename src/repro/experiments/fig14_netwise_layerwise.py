@@ -1,0 +1,124 @@
+"""EXP-F14 — Fig. 14: network-wise vs layer-wise TASD on ResNet-50.
+
+Upper plot: TASD-W on the 95 % unstructured sparse ResNet-50 — accuracy vs
+approximated sparsity for network-wise N:4 / N:8 / N:16 sweeps plus
+layer-wise (α-swept) points.  Lower plot: the same for TASD-A on the dense
+ResNet-50.  Expected shapes: layer-wise dominates network-wise, and TASD-A
+degrades at much lower approximated sparsity than TASD-W.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.nn.train import evaluate_accuracy
+from repro.pruning.targets import gemm_layers
+from repro.tasder import (
+    TTC_VEGETA_M8,
+    TASDTransform,
+    calibrate,
+    collect_gemm_shapes,
+    evaluate_transform,
+    menu_n4,
+    menu_n8,
+    menu_n16,
+    network_wise_activation_sweep,
+    network_wise_weight_sweep,
+    select_activation_configs,
+    sparsity_based_weight_selection,
+    transform_compute_fraction,
+)
+
+from .reporting import format_table
+from .zoo import RECIPES, get_trained_model
+
+__all__ = ["SweepPoint", "Fig14Result", "run"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    series: str  # e.g. "netwise N:8" / "layerwise"
+    config: str
+    approximated_sparsity: float
+    accuracy: float
+
+
+@dataclass
+class Fig14Result:
+    weight_points: list[SweepPoint]
+    activation_points: list[SweepPoint]
+    original_accuracy_sparse: float
+    original_accuracy_dense: float
+
+    def table(self, which: str = "weights") -> str:
+        pts = self.weight_points if which == "weights" else self.activation_points
+        orig = (
+            self.original_accuracy_sparse if which == "weights" else self.original_accuracy_dense
+        )
+        rows = [
+            (p.series, p.config, p.approximated_sparsity, p.accuracy, p.accuracy >= 0.99 * orig)
+            for p in pts
+        ]
+        return format_table(
+            ["series", "config", "approx sparsity", "accuracy", "meets 99%"],
+            rows,
+            title=f"Fig. 14 ({'upper: TASD-W' if which == 'weights' else 'lower: TASD-A'}), "
+            f"original accuracy {orig:.4f}",
+        )
+
+
+def _layerwise_weight_points(model, dataset, alphas) -> list[SweepPoint]:
+    points = []
+    shapes = collect_gemm_shapes(model, dataset.x_eval[:2])
+    for alpha in alphas:
+        transform = sparsity_based_weight_selection(model, TTC_VEGETA_M8, alpha=alpha)
+        acc = evaluate_transform(model, transform, dataset.x_eval, dataset.y_eval)
+        sparsity = 1.0 - transform_compute_fraction(transform, shapes)
+        points.append(SweepPoint("layerwise N:8", f"alpha={alpha:+.2f}", sparsity, acc))
+    return points
+
+
+def _layerwise_activation_points(model, dataset, alphas) -> list[SweepPoint]:
+    points = []
+    shapes = collect_gemm_shapes(model, dataset.x_eval[:2])
+    calibration = calibrate(model, dataset.x_calib)
+    for alpha in alphas:
+        transform = select_activation_configs(calibration, TTC_VEGETA_M8, alpha=alpha)
+        acc = evaluate_transform(model, transform, dataset.x_eval, dataset.y_eval)
+        sparsity = 1.0 - transform_compute_fraction(transform, shapes)
+        points.append(SweepPoint("layerwise N:8", f"alpha={alpha:+.2f}", sparsity, acc))
+    return points
+
+
+def run(use_cache: bool = True, alphas: tuple[float, ...] = (-0.45, -0.3, -0.15, 0.0, 0.15, 0.3)) -> Fig14Result:
+    sparse = get_trained_model(RECIPES["sparse_resnet50"], use_cache=use_cache)
+    dense = get_trained_model(RECIPES["resnet50"], use_cache=use_cache)
+
+    weight_points: list[SweepPoint] = []
+    for label, menu in (("N:4", menu_n4()), ("N:8", menu_n8()), ("N:16", menu_n16())):
+        for config, acc in network_wise_weight_sweep(
+            sparse.model, menu, sparse.dataset.x_eval, sparse.dataset.y_eval
+        ):
+            weight_points.append(
+                SweepPoint(f"netwise {label}", str(config), config.approximated_sparsity, acc)
+            )
+    weight_points.extend(_layerwise_weight_points(sparse.model, sparse.dataset, alphas))
+
+    activation_points: list[SweepPoint] = []
+    for label, menu in (("N:4", menu_n4()), ("N:8", menu_n8()), ("N:16", menu_n16())):
+        for config, acc in network_wise_activation_sweep(
+            dense.model, menu, dense.dataset.x_eval, dense.dataset.y_eval
+        ):
+            activation_points.append(
+                SweepPoint(f"netwise {label}", str(config), config.approximated_sparsity, acc)
+            )
+    activation_points.extend(_layerwise_activation_points(dense.model, dense.dataset, alphas))
+
+    return Fig14Result(
+        weight_points=weight_points,
+        activation_points=activation_points,
+        original_accuracy_sparse=sparse.accuracy,
+        original_accuracy_dense=dense.accuracy,
+    )

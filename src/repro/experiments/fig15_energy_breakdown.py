@@ -1,0 +1,81 @@
+"""EXP-F15 — Fig. 15: energy breakdown by architecture level, TTC vs TC.
+
+Runs the sparse-ResNet-50 representative layer (Table 4's L3) on the dense
+TC and on TTC-VEGETA-M8 with the paper's 4:8 + 1:8 configuration, and
+reports energy per component (DRAM / L2 SMEM / L1 SMEM / RF / MAC / TASD
+unit).  Expected shape: TTC saves at *every* level, ≈50 %+ total.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.series import TASDConfig
+from repro.hw import LayerSpec, build_model
+from repro.workloads import representative_layers, sparse_resnet50
+
+from .reporting import format_table
+
+__all__ = ["Fig15Result", "run"]
+
+COMPONENT_ORDER = ("dram", "l2", "l1", "rf", "mac", "tasd_unit", "accum", "index")
+
+
+@dataclass
+class Fig15Result:
+    layer: str
+    tc_breakdown: dict[str, float]
+    ttc_breakdown: dict[str, float]
+
+    @property
+    def total_tc(self) -> float:
+        return sum(self.tc_breakdown.values())
+
+    @property
+    def total_ttc(self) -> float:
+        return sum(self.ttc_breakdown.values())
+
+    @property
+    def savings(self) -> float:
+        return 1.0 - self.total_ttc / self.total_tc
+
+    def table(self) -> str:
+        rows = []
+        for comp in COMPONENT_ORDER:
+            tc = self.tc_breakdown.get(comp, 0.0)
+            ttc = self.ttc_breakdown.get(comp, 0.0)
+            if tc == 0.0 and ttc == 0.0:
+                continue
+            rows.append((comp, tc / self.total_tc, ttc / self.total_tc))
+        rows.append(("TOTAL", 1.0, self.total_ttc / self.total_tc))
+        return format_table(
+            ["component", "dense TC", "TTC-VEGETA (4:8+1:8)"],
+            rows,
+            title=f"Fig. 15 — energy breakdown, {self.layer} "
+            f"(TTC saves {self.savings:.1%})",
+        )
+
+
+def run() -> Fig15Result:
+    wl = sparse_resnet50()
+    layer = representative_layers(wl)["L3"]
+    config = TASDConfig.parse("4:8+1:8")
+    # TASD-W orientation: A = weights.
+    base_spec = LayerSpec(
+        name=layer.name,
+        m=layer.shape.out_features, k=layer.shape.reduction, n=layer.shape.spatial,
+        a_density=layer.weight_density, b_density=layer.activation_density,
+    )
+    tc = build_model("TC").model.run_layer(base_spec)
+    ttc_spec = LayerSpec(
+        name=layer.name,
+        m=base_spec.m, k=base_spec.k, n=base_spec.n,
+        a_density=base_spec.a_density, b_density=base_spec.b_density,
+        a_config=config,
+    )
+    ttc = build_model("TTC-VEGETA-M8").model.run_layer(ttc_spec)
+    return Fig15Result(
+        layer=f"sparse RN50 {layer.name} (L3)",
+        tc_breakdown=tc.energy_breakdown,
+        ttc_breakdown=ttc.energy_breakdown,
+    )

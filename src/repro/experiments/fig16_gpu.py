@@ -1,0 +1,100 @@
+"""EXP-F16 / EXP-RS — Fig. 16 & Section 5.5: TASD-W 2:4 on a real system.
+
+The pipeline of Section 5.5 with the GPU substituted per DESIGN.md:
+
+1. TASDER (greedy, 2:4-only menu) ranks the sparse ResNet-34's layers by
+   dropped-non-zero fraction — the order in which layers should adopt 2:4.
+2. For k = 0..36, the first k layers in that order run the sparse kernel:
+   accuracy is measured on the trained scaled model; latency on the
+   *full-size* ResNet-34 layer shapes through the TensorRT-like engine.
+
+Expected shape: speed-up climbs toward ~1.3-1.5x while accuracy stays
+within ~1.5 % of the dense baseline until nearly all layers convert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.series import TASDConfig
+from repro.gpu import engine_speedup
+from repro.pruning.targets import gemm_layers
+from repro.tasder import TASDTransform, evaluate_transform
+from repro.tasder.weight_search import weight_dropped_fraction
+from repro.workloads import resnet_layers
+
+from .reporting import format_table
+from .zoo import RECIPES, get_trained_model
+
+__all__ = ["Fig16Point", "Fig16Result", "run"]
+
+CONFIG_2_4 = TASDConfig.parse("2:4")
+
+
+@dataclass(frozen=True)
+class Fig16Point:
+    num_layers: int
+    accuracy: float
+    speedup: float
+
+
+@dataclass
+class Fig16Result:
+    points: list[Fig16Point]
+    original_accuracy: float
+    batch: int
+
+    @property
+    def best_valid(self) -> Fig16Point:
+        """Fastest point meeting the 99 % accuracy gate."""
+        valid = [p for p in self.points if p.accuracy >= 0.99 * self.original_accuracy]
+        return max(valid, key=lambda p: p.speedup)
+
+    def table(self) -> str:
+        rows = [
+            (p.num_layers, p.accuracy, p.speedup, (p.speedup - 1.0))
+            for p in self.points
+        ]
+        return format_table(
+            ["#TASD layers", "top-1 accuracy", "speedup", "improvement"],
+            rows,
+            title=f"Fig. 16 — TASD-W 2:4 on modelled RTX 3080, sparse ResNet34 "
+            f"(batch {self.batch}, dense accuracy {self.original_accuracy:.4f})",
+        )
+
+
+def run(use_cache: bool = True, batch: int = 32, step: int = 3) -> Fig16Result:
+    trained = get_trained_model(RECIPES["sparse_resnet34"], use_cache=use_cache)
+    model, dataset = trained.model, trained.dataset
+
+    # Rank layers by how little 2:4 drops from them (the greedy order).
+    layers = gemm_layers(model)
+    ranked = sorted(
+        (weight_dropped_fraction(layer.weight_matrix(), CONFIG_2_4), name)
+        for name, layer in layers
+    )
+    order = [name for _, name in ranked]
+
+    # Full-size shapes in the same forward order as the scaled model's layers.
+    full_convs = [l for l in resnet_layers(34) if l.kind == "conv"]
+    if len(full_convs) != len(order):
+        raise RuntimeError(
+            f"layer count mismatch: scaled model has {len(order)} GEMM layers, "
+            f"full-size ResNet34 has {len(full_convs)}"
+        )
+    mini_to_full = {
+        name: full_convs[i].name for i, (name, _) in enumerate(layers)
+    }
+
+    points: list[Fig16Point] = []
+    ks = sorted(set(list(range(0, len(order) + 1, step)) + [len(order)]))
+    for k in ks:
+        chosen = order[:k]
+        transform = TASDTransform(weight_configs={n: CONFIG_2_4 for n in chosen})
+        accuracy = evaluate_transform(model, transform, dataset.x_eval, dataset.y_eval)
+        sparse_full = {mini_to_full[n] for n in chosen}
+        speedup = engine_speedup(full_convs, sparse_full, batch=batch)
+        points.append(Fig16Point(num_layers=k, accuracy=accuracy, speedup=speedup))
+    return Fig16Result(points=points, original_accuracy=trained.accuracy, batch=batch)

@@ -1,0 +1,75 @@
+"""EXP-F18 — Fig. 18 (Appendix A): matmul error vs approximated sparsity.
+
+256x256 matrices, A at 20 % / 80 % unstructured sparsity, B dense; one-term
+TASD with every N:4 and N:8 config; error = ||(A - A*)B|| / ||AB||.
+Expected shapes (Appendix A's four observations): error falls with lower
+approximated sparsity, falls with sparser A, and N:8 beats N:4 at equal
+approximated sparsity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.metrics import matmul_relative_error
+from repro.core.series import TASDConfig
+from repro.tensor.random import sparse_uniform
+
+from .reporting import format_table
+
+__all__ = ["Fig18Point", "Fig18Result", "run"]
+
+
+@dataclass(frozen=True)
+class Fig18Point:
+    series_label: str  # e.g. "Unstructured 80% with N:8"
+    config: str
+    approximated_sparsity: float
+    error: float
+
+
+@dataclass
+class Fig18Result:
+    points: list[Fig18Point]
+
+    def series(self, label: str) -> list[Fig18Point]:
+        return sorted(
+            (p for p in self.points if p.series_label == label),
+            key=lambda p: p.approximated_sparsity,
+        )
+
+    def labels(self) -> list[str]:
+        return sorted({p.series_label for p in self.points})
+
+    def table(self) -> str:
+        rows = [
+            (p.series_label, p.config, p.approximated_sparsity, p.error)
+            for label in self.labels()
+            for p in self.series(label)
+        ]
+        return format_table(
+            ["series", "config", "approx sparsity", "relative error"],
+            rows,
+            title="Fig. 18 — matmul error with one-term TASD (256x256, B dense)",
+            float_fmt="{:.5f}",
+        )
+
+
+def run(size: int = 256, seed: int = 0) -> Fig18Result:
+    rng = np.random.default_rng(seed)
+    b = rng.uniform(0.0, 1.0, size=(size, size))
+    points: list[Fig18Point] = []
+    for sparsity in (0.2, 0.8):
+        a = sparse_uniform((size, size), density=1.0 - sparsity, seed=rng)
+        for m in (4, 8):
+            label = f"Unstructured {int(sparsity * 100)}% with N:{m}"
+            for n in range(1, m):  # n == m is dense (zero error, off the plot)
+                config = TASDConfig.single(n, m)
+                approx = config.view(a, axis=-1)
+                err = matmul_relative_error(a, approx, b)
+                points.append(
+                    Fig18Point(label, str(config), config.approximated_sparsity, err)
+                )
+    return Fig18Result(points=points)

@@ -1,0 +1,143 @@
+"""EXP-F19 — Fig. 19 (Appendix B): what each piece of the system buys.
+
+Four systems on six model variants (dense / unstructured-pruned /
+structured-pruned x ResNet-50 / BERT):
+
+* DSTC — unstructured sparse HW, no TASDER.
+* VEGETA — structured sparse HW alone: exploits only natively-legal
+  (structured-pruned) weights; unstructured and dense models run dense.
+* VEGETA w/ TASDER — TASD-W turns unstructured weights structured
+  (1-term menu, no TASD units, so no activation support).
+* TTC-VEGETA w/ TASDER — adds TASD units: 2-term TASD-W menus plus dynamic
+  TASD-A for dense-weight models.
+
+Expected shape: plain VEGETA ≈ 1.0 on dense/unstructured models; TASDER
+recovers the weight-side gains; TTC adds activation-side gains everywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core.patterns import NMPattern
+from repro.core.series import DENSE_CONFIG, TASDConfig
+from repro.hw import LayerSpec, build_model, geomean
+from repro.workloads import (
+    Workload,
+    WorkloadLayer,
+    build_layer_specs,
+    dense_bert,
+    dense_resnet50,
+    sparse_bert,
+    sparse_resnet50,
+)
+from repro.workloads.suite import DROP_CAP_WEIGHTS, select_config_by_drop_cap
+
+from .reporting import format_table
+
+__all__ = ["Fig19Result", "run", "structured_pruned"]
+
+NATIVE_4_8 = TASDConfig.single(4, 8)
+SYSTEMS = ("DSTC", "VEGETA", "VEGETA w/ TASDER", "TTC-VEGETA w/ TASDER")
+
+
+def structured_pruned(base: Workload, name: str) -> Workload:
+    """A 4:8 structured-pruned (HW-aware fine-tuned) variant of a workload."""
+    layers = tuple(
+        WorkloadLayer(
+            l.shape,
+            weight_density=0.5,  # exactly 4:8 legal after fine-tuning
+            activation_density=l.activation_density,
+            activation_stat_density=l.activation_stat_density,
+        )
+        for l in base.layers
+    )
+    return Workload(name, layers, tasd_side="weights", activation_kind=base.activation_kind)
+
+
+def _specs_for(system: str, workload: Workload, structured: bool) -> list[LayerSpec]:
+    vegeta = build_model("VEGETA")
+    ttc = build_model("TTC-VEGETA-M8")
+    if system == "DSTC":
+        return build_layer_specs(workload, build_model("DSTC"))
+    if system == "VEGETA":
+        if structured:
+            # Natively legal 4:8 weights run lossless without any TASDER.
+            return [
+                LayerSpec(
+                    name=l.name,
+                    m=l.shape.out_features, k=l.shape.reduction, n=l.shape.spatial,
+                    a_density=l.weight_density, b_density=l.activation_density,
+                    a_config=NATIVE_4_8,
+                )
+                for l in workload.layers
+            ]
+        return build_layer_specs(workload, vegeta, use_tasder=False)
+    if system == "VEGETA w/ TASDER":
+        if structured:
+            # Already 4:8 legal: TASDER selects the native pattern, zero drops.
+            return _specs_for("VEGETA", workload, structured)
+        if workload.tasd_side != "weights":
+            # No TASD units: dense-weight models gain nothing.
+            return build_layer_specs(workload, vegeta, use_tasder=False)
+        return build_layer_specs(workload, vegeta, native_only=True)
+    if system == "TTC-VEGETA w/ TASDER":
+        if structured:
+            return [
+                LayerSpec(
+                    name=l.name,
+                    m=l.shape.out_features, k=l.shape.reduction, n=l.shape.spatial,
+                    a_density=l.weight_density, b_density=l.activation_density,
+                    a_config=NATIVE_4_8,
+                )
+                for l in workload.layers
+            ]
+        return build_layer_specs(workload, ttc)
+    raise ValueError(f"unknown system {system!r}")
+
+
+def _model_for(system: str):
+    if system == "DSTC":
+        return build_model("DSTC").model
+    if system in ("VEGETA", "VEGETA w/ TASDER"):
+        return build_model("VEGETA").model
+    return build_model("TTC-VEGETA-M8").model
+
+
+@dataclass
+class Fig19Result:
+    variants: list[str]
+    edp: dict[tuple[str, str], float]  # (variant, system) -> normalized EDP
+
+    def table(self) -> str:
+        rows = []
+        for variant in self.variants:
+            rows.append(tuple([variant] + [self.edp[(variant, s)] for s in SYSTEMS]))
+        gm = ["Geomean"] + [
+            geomean([self.edp[(v, s)] for v in self.variants]) for s in SYSTEMS
+        ]
+        rows.append(tuple(gm))
+        return format_table(
+            ["Model"] + list(SYSTEMS), rows,
+            title="Fig. 19 — ablation: DSTC / VEGETA / +TASDER / TTC (EDP vs dense TC)",
+        )
+
+
+def run() -> Fig19Result:
+    variants: list[tuple[str, Workload, bool]] = [
+        ("Dense ResNet50", dense_resnet50(), False),
+        ("Dense BERT", dense_bert(), False),
+        ("Unstr ResNet50", sparse_resnet50(), False),
+        ("Unstr BERT", sparse_bert(), False),
+        ("Str ResNet50", structured_pruned(dense_resnet50(), "Str ResNet50"), True),
+        ("Str BERT", structured_pruned(dense_bert(), "Str BERT"), True),
+    ]
+    tc = build_model("TC")
+    edp: dict[tuple[str, str], float] = {}
+    for name, workload, structured in variants:
+        base = tc.model.run_network(build_layer_specs(workload, tc, use_tasder=False))
+        for system in SYSTEMS:
+            model = _model_for(system)
+            result = model.run_network(_specs_for(system, workload, structured))
+            edp[(name, system)] = result.edp / base.edp
+    return Fig19Result(variants=[v[0] for v in variants], edp=edp)

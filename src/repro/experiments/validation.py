@@ -1,0 +1,67 @@
+"""Aggregate fidelity check: rank-correlate measured EDP against the paper.
+
+The reproduction's headline quality metric: across every (workload, design)
+cell whose normalized EDP the paper's text states, the *ranking* of our
+measured values should agree (Spearman correlation) and the values should
+sit within a small log-space error — "who wins, by roughly what factor".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats
+
+from .fig12_edp import PAPER_EDP_REFERENCE, Fig12Result, run as run_fig12
+from .reporting import format_table
+
+__all__ = ["ValidationResult", "validate_against_paper"]
+
+
+@dataclass
+class ValidationResult:
+    """Paper-vs-measured comparison over the quoted Fig. 12 cells."""
+
+    cells: list[tuple[str, str, float, float]]  # workload, design, paper, measured
+    spearman: float
+    max_log2_error: float
+    mean_log2_error: float
+
+    def table(self) -> str:
+        rows = [
+            (wl, d, paper, measured, float(np.log2(measured / paper)))
+            for wl, d, paper, measured in self.cells
+        ]
+        body = format_table(
+            ["workload", "design", "paper EDP", "measured EDP", "log2 ratio"],
+            rows,
+            title="Fig. 12 reproduction fidelity (normalized EDP)",
+        )
+        summary = (
+            f"\nSpearman rank correlation: {self.spearman:.3f}   "
+            f"mean |log2 error|: {self.mean_log2_error:.2f}   "
+            f"max |log2 error|: {self.max_log2_error:.2f}"
+        )
+        return body + summary
+
+
+def validate_against_paper(fig12: Fig12Result | None = None) -> ValidationResult:
+    """Compare measured Fig. 12 EDPs against every paper-quoted value."""
+    fig12 = fig12 or run_fig12()
+    cells = []
+    paper_vals = []
+    measured_vals = []
+    for (workload, design), paper in sorted(PAPER_EDP_REFERENCE.items()):
+        measured = fig12.cell(workload, design).edp
+        cells.append((workload, design, paper, measured))
+        paper_vals.append(paper)
+        measured_vals.append(measured)
+    rho = float(stats.spearmanr(paper_vals, measured_vals).statistic)
+    log_err = np.abs(np.log2(np.array(measured_vals) / np.array(paper_vals)))
+    return ValidationResult(
+        cells=cells,
+        spearman=rho,
+        max_log2_error=float(log_err.max()),
+        mean_log2_error=float(log_err.mean()),
+    )

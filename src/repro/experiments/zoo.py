@@ -1,0 +1,145 @@
+"""Trained-model registry for the experiments, with on-disk caching.
+
+Experiments that need real accuracy (Figs. 14, 16, 20) train scaled models
+on the synthetic tasks once and cache the weights under ``.cache/models/``
+in the repository root, keyed by a recipe fingerprint — so benches are fast
+after the first run and fully deterministic (fixed seeds everywhere).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.nn import Adam, Dataset, evaluate_accuracy, synthetic_images, synthetic_tokens, train_classifier
+from repro.nn.module import Module
+from repro.nn.models import (
+    BertEncoder,
+    ConvNeXt,
+    ResNet,
+    VGG,
+    VisionTransformer,
+)
+from repro.pruning import prune_and_finetune, sparsity_report
+
+__all__ = ["TrainedModel", "ModelRecipe", "get_trained_model", "RECIPES", "cache_dir"]
+
+
+def cache_dir() -> Path:
+    path = Path(__file__).resolve().parents[3] / ".cache" / "models"
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+@dataclass(frozen=True)
+class ModelRecipe:
+    """How to build + train one experiment model (all seeds fixed)."""
+
+    name: str
+    family: str  # resnet | vgg | bert | vit | convnext
+    depth: int = 18
+    base_width: int = 8
+    image_size: int = 16
+    epochs: int = 5
+    lr: float = 2e-3
+    noise: float = 0.55
+    sparsity: float = 0.0  # >0: iterative magnitude prune + fine-tune
+    finetune_epochs: int = 2
+    prune_steps: tuple[float, ...] | None = None  # custom sparsity ladder
+    seed: int = 0
+
+    def fingerprint(self) -> str:
+        blob = json.dumps(self.__dict__, sort_keys=True).encode()
+        return hashlib.sha256(blob).hexdigest()[:16]
+
+
+@dataclass
+class TrainedModel:
+    """A trained (optionally pruned) model plus its task data and metrics."""
+
+    recipe: ModelRecipe
+    model: Module
+    dataset: Dataset
+    accuracy: float
+    weight_sparsity: float
+
+
+def _build(recipe: ModelRecipe) -> tuple[Module, Dataset]:
+    rng = np.random.default_rng(recipe.seed)
+    if recipe.family == "bert":
+        dataset = synthetic_tokens(n_train=512, n_eval=256, n_calib=64, seed=recipe.seed)
+        model: Module = BertEncoder(rng=rng)
+        return model, dataset
+    dataset = synthetic_images(
+        n_train=512, n_eval=256, n_calib=64,
+        size=recipe.image_size, noise=recipe.noise, seed=recipe.seed,
+    )
+    if recipe.family == "resnet":
+        model = ResNet(depth=recipe.depth, base_width=recipe.base_width, rng=rng)
+    elif recipe.family == "vgg":
+        model = VGG(depth=recipe.depth, base_width=recipe.base_width, rng=rng)
+    elif recipe.family == "vit":
+        model = VisionTransformer(image_size=recipe.image_size, rng=rng)
+    elif recipe.family == "convnext":
+        model = ConvNeXt(base_width=recipe.base_width, rng=rng)
+    else:
+        raise ValueError(f"unknown family {recipe.family!r}")
+    return model, dataset
+
+
+def get_trained_model(recipe: ModelRecipe, use_cache: bool = True) -> TrainedModel:
+    """Train (or load) the model a recipe describes."""
+    model, dataset = _build(recipe)
+    cache_file = cache_dir() / f"{recipe.name}-{recipe.fingerprint()}.npz"
+    if use_cache and cache_file.exists():
+        blob = np.load(cache_file)
+        model.load_state_dict({k: blob[k] for k in blob.files})
+    else:
+        train_classifier(
+            model, dataset.x_train, dataset.y_train,
+            epochs=recipe.epochs, optimizer=Adam(model, lr=recipe.lr), seed=recipe.seed,
+        )
+        if recipe.sparsity > 0.0:
+            prune_and_finetune(
+                model, dataset.x_train, dataset.y_train,
+                sparsity=recipe.sparsity, steps=recipe.prune_steps,
+                finetune_epochs=recipe.finetune_epochs, lr=1.5e-3,
+                seed=recipe.seed,
+            )
+        if use_cache:
+            np.savez_compressed(cache_file, **model.state_dict())
+    accuracy = evaluate_accuracy(model, dataset.x_eval, dataset.y_eval)
+    overall = sparsity_report(model).overall if recipe.sparsity > 0 else 0.0
+    return TrainedModel(
+        recipe=recipe, model=model, dataset=dataset,
+        accuracy=accuracy, weight_sparsity=overall,
+    )
+
+
+# Recipes used across the experiment suite (names match the paper's zoo).
+RECIPES: dict[str, ModelRecipe] = {
+    "resnet18": ModelRecipe("resnet18", "resnet", depth=18),
+    "resnet34": ModelRecipe("resnet34", "resnet", depth=34),
+    "resnet50": ModelRecipe("resnet50", "resnet", depth=50, base_width=16, epochs=8, noise=0.5),
+    "vgg11": ModelRecipe("vgg11", "vgg", depth=11, image_size=32),
+    "vgg16": ModelRecipe("vgg16", "vgg", depth=16, image_size=32, epochs=7),
+    "vit": ModelRecipe("vit", "vit", epochs=10, lr=1e-3),
+    "convnext": ModelRecipe("convnext", "convnext", epochs=6),
+    "bert": ModelRecipe("bert", "bert", epochs=5),
+    "sparse_resnet18": ModelRecipe("sparse_resnet18", "resnet", depth=18, sparsity=0.90),
+    "sparse_resnet34": ModelRecipe("sparse_resnet34", "resnet", depth=34, sparsity=0.90),
+    # The paper's SparseZoo ResNet-50 is 95 % sparse; the width-scaled
+    # substitute lacks that over-parameterization margin, so its sparse
+    # variant targets 90 % (recorded as a substitution in EXPERIMENTS.md).
+    "sparse_resnet50": ModelRecipe(
+        "sparse_resnet50", "resnet", depth=50, base_width=16, epochs=8, noise=0.5,
+        sparsity=0.90, prune_steps=(0.4, 0.6, 0.75, 0.85, 0.90), finetune_epochs=4,
+    ),
+    "sparse_vgg11": ModelRecipe("sparse_vgg11", "vgg", depth=11, image_size=32, sparsity=0.90),
+    "sparse_vgg16": ModelRecipe("sparse_vgg16", "vgg", depth=16, image_size=32, epochs=7, sparsity=0.90),
+    "sparse_bert": ModelRecipe("sparse_bert", "bert", sparsity=0.85),
+}

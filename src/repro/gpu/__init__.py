@@ -1,0 +1,28 @@
+"""Real-system substitute: 2:4 semi-structured kernels + GPU latency model."""
+
+from .engine import EnginePlan, build_engine, engine_speedup
+from .kernels import (
+    PATTERN_2_4,
+    compress_2to4,
+    decompress_2to4,
+    is_2to4_legal,
+    prune_2to4,
+    sparse_matmul_2to4,
+)
+from .perf_model import RTX3080, GpuParams, gemm_time_us, layer_speedup
+
+__all__ = [
+    "PATTERN_2_4",
+    "prune_2to4",
+    "compress_2to4",
+    "decompress_2to4",
+    "sparse_matmul_2to4",
+    "is_2to4_legal",
+    "GpuParams",
+    "RTX3080",
+    "gemm_time_us",
+    "layer_speedup",
+    "EnginePlan",
+    "build_engine",
+    "engine_speedup",
+]

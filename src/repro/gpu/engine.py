@@ -1,0 +1,75 @@
+"""TensorRT-like engine: per-layer kernel selection and end-to-end timing.
+
+Builds an execution plan for a network (a list of full-size layer shapes):
+layers whose weights were made 2:4 by TASD-W run the sparse tensor-core
+kernel, the rest run dense — then sums modelled latencies.  This is the
+Section 5.5 pipeline with the TensorRT runtime replaced by the latency
+model of :mod:`repro.gpu.perf_model`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.workloads.shapes import LayerShape
+
+from .perf_model import GpuParams, RTX3080, gemm_time_us
+
+__all__ = ["EnginePlan", "build_engine", "engine_speedup"]
+
+
+@dataclass
+class EnginePlan:
+    """An executable plan: per-layer kernel choice and latency."""
+
+    batch: int
+    layer_names: list[str] = field(default_factory=list)
+    kernels: list[str] = field(default_factory=list)  # "dense" | "sparse24"
+    layer_times_us: list[float] = field(default_factory=list)
+
+    @property
+    def total_us(self) -> float:
+        return sum(self.layer_times_us)
+
+    @property
+    def num_sparse(self) -> int:
+        return sum(1 for k in self.kernels if k == "sparse24")
+
+
+def build_engine(
+    layers: list[LayerShape],
+    sparse_layers: set[str] | frozenset[str] = frozenset(),
+    batch: int = 32,
+    gpu: GpuParams = RTX3080,
+) -> EnginePlan:
+    """Time every layer with its selected kernel.
+
+    GEMM orientation per layer: weights (out x red) multiply the im2col'd
+    activation matrix (red x spatial*batch) — M = out_features, K =
+    reduction, N = spatial x batch.
+    """
+    plan = EnginePlan(batch=batch)
+    for layer in layers:
+        sparse = layer.name in sparse_layers
+        m, k, n = layer.out_features, layer.reduction, layer.spatial * batch
+        plan.layer_names.append(layer.name)
+        plan.kernels.append("sparse24" if sparse else "dense")
+        plan.layer_times_us.append(
+            gemm_time_us(
+                m, k, n, sparse=sparse, gpu=gpu,
+                x_traffic_factor=1.0 / max(1, layer.kernel_area),
+            )
+        )
+    return plan
+
+
+def engine_speedup(
+    layers: list[LayerShape],
+    sparse_layers: set[str] | frozenset[str],
+    batch: int = 32,
+    gpu: GpuParams = RTX3080,
+) -> float:
+    """End-to-end dense/TASD latency ratio (Fig. 16's right axis is this - 1)."""
+    dense = build_engine(layers, frozenset(), batch, gpu)
+    tasd = build_engine(layers, frozenset(sparse_layers), batch, gpu)
+    return dense.total_us / tasd.total_us

@@ -1,0 +1,105 @@
+"""Model export: the "export to ONNX, build a TensorRT engine" step (§5.5).
+
+Serialises a trained NumPy model into an *engine spec* — per-layer GEMM
+shapes plus which layers carry 2:4-legal weights — the exact information
+the TensorRT-like engine needs to pick kernels.  Round-trips through JSON
+so specs can be saved next to checkpoints, completing the paper's
+deployment pipeline (TASDER → export → engine build → measure).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.gpu.kernels import is_2to4_legal
+from repro.nn.module import Module
+from repro.tasder.quality import collect_gemm_shapes
+from repro.workloads.shapes import LayerShape
+
+from .engine import EnginePlan, build_engine
+from .perf_model import GpuParams, RTX3080
+
+__all__ = ["EngineSpec", "export_model", "save_spec", "load_spec", "build_engine_from_spec"]
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """Everything the engine builder needs, decoupled from the model."""
+
+    model_name: str
+    layers: tuple[LayerShape, ...]
+    sparse_layers: frozenset[str]
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "model_name": self.model_name,
+                "layers": [asdict(l) for l in self.layers],
+                "sparse_layers": sorted(self.sparse_layers),
+            },
+            indent=2,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "EngineSpec":
+        blob = json.loads(text)
+        return cls(
+            model_name=blob["model_name"],
+            layers=tuple(LayerShape(**l) for l in blob["layers"]),
+            sparse_layers=frozenset(blob["sparse_layers"]),
+        )
+
+
+def export_model(
+    model: Module, sample_input: np.ndarray, model_name: str = "model"
+) -> EngineSpec:
+    """Export a model's GEMM graph and 2:4 eligibility.
+
+    A layer is marked sparse when its *effective* weight (the TASD-W view
+    installed by TASDER, falling back to the trained weight) satisfies 2:4
+    along the reduction axis — i.e. when the sparse tensor core can run it
+    losslessly.  Ragged reduction dims are exported as dense.
+    """
+    from repro.pruning.targets import gemm_layers
+
+    shapes = collect_gemm_shapes(model, sample_input)
+    layers: list[LayerShape] = []
+    sparse: set[str] = set()
+    for name, layer in gemm_layers(model):
+        if name not in shapes:
+            continue
+        gs = shapes[name]
+        kernel_area = getattr(layer, "kernel_size", 1)
+        layers.append(
+            LayerShape(
+                name=name,
+                spatial=gs.m,
+                reduction=gs.k,
+                out_features=gs.n,
+                kind="conv" if hasattr(layer, "kernel_size") else "fc",
+                kernel_area=int(kernel_area) ** 2 if hasattr(layer, "kernel_size") else 1,
+            )
+        )
+        w = layer.effective_weight if layer.effective_weight is not None else layer.weight_matrix()
+        if w.shape[-1] % 4 == 0 and is_2to4_legal(w):
+            sparse.add(name)
+    return EngineSpec(model_name=model_name, layers=tuple(layers), sparse_layers=frozenset(sparse))
+
+
+def save_spec(spec: EngineSpec, path: str | Path) -> None:
+    Path(path).write_text(spec.to_json())
+
+
+def load_spec(path: str | Path) -> EngineSpec:
+    return EngineSpec.from_json(Path(path).read_text())
+
+
+def build_engine_from_spec(
+    spec: EngineSpec, batch: int = 32, gpu: GpuParams = RTX3080
+) -> EnginePlan:
+    """Build the timed execution plan straight from an exported spec."""
+    return build_engine(list(spec.layers), spec.sparse_layers, batch=batch, gpu=gpu)

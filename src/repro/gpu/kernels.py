@@ -1,0 +1,59 @@
+"""2:4 semi-structured kernels (the sparse-tensor-core functional model).
+
+Functional equivalents of cuSPARSELt's 2:4 path: compress a 2:4-legal
+weight matrix to values + 2-bit indices and multiply directly from the
+compressed form.  Verified bit-exact against dense matmul in the tests —
+this is the kernel-semantics half of the real-system substitution
+(DESIGN.md); timing lives in :mod:`repro.gpu.perf_model`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.patterns import NMPattern, is_pattern_legal, pattern_view
+from repro.core.sparse_ops import CompressedNM, nm_compress, nm_decompress, nm_matmul
+
+__all__ = [
+    "PATTERN_2_4",
+    "prune_2to4",
+    "compress_2to4",
+    "decompress_2to4",
+    "sparse_matmul_2to4",
+    "is_2to4_legal",
+]
+
+PATTERN_2_4 = NMPattern(2, 4)
+
+
+def prune_2to4(w: np.ndarray) -> np.ndarray:
+    """Magnitude-prune rows of ``w`` to 2:4 (what ASP / TASD-W 2:4 produces)."""
+    if w.shape[-1] % 4 != 0:
+        raise ValueError(f"reduction dim {w.shape[-1]} not divisible by 4")
+    return pattern_view(w, PATTERN_2_4, axis=-1)
+
+
+def is_2to4_legal(w: np.ndarray) -> bool:
+    """True when every 4-block of ``w`` holds at most 2 non-zeros."""
+    return is_pattern_legal(w, PATTERN_2_4, axis=-1)
+
+
+def compress_2to4(w: np.ndarray) -> CompressedNM:
+    """Compress a 2:4-legal matrix (values + 2-bit metadata, half footprint)."""
+    return nm_compress(w, PATTERN_2_4)
+
+
+def decompress_2to4(c: CompressedNM) -> np.ndarray:
+    """Expand compressed 2:4 storage back to dense."""
+    return nm_decompress(c)
+
+
+def sparse_matmul_2to4(c: CompressedNM, x: np.ndarray) -> np.ndarray:
+    """Sparse GEMM from compressed 2:4 weights: ``decompress(c) @ x``.
+
+    Gathers the two needed rows of ``x`` per 4-block via the metadata —
+    half the dense MACs, exactly the sparse-tensor-core dataflow.
+    """
+    if c.pattern != PATTERN_2_4:
+        raise ValueError(f"expected 2:4 compressed input, got {c.pattern}")
+    return nm_matmul(c, x)

@@ -1,0 +1,81 @@
+"""Ampere-like GEMM latency model (the RTX 3080 timing substitute).
+
+Roofline-style: a GEMM is compute-bound at the tensor-core peak or
+bandwidth-bound at DRAM, plus a fixed per-kernel launch cost.  The sparse
+2:4 path doubles peak MAC throughput (NVIDIA's STC claim) but runs at a
+lower achieved efficiency and only on the weight operand — reproducing the
+empirical cuSPARSELt behaviour that small or skinny GEMMs see little or no
+gain while large MLP-style GEMMs approach ~1.7x.
+
+Constants approximate an RTX 3080 at FP16: 119 TFLOPS dense tensor peak
+(59.5 T MAC/s), 760 GB/s DRAM.  Absolute microseconds are not the claim;
+the dense-vs-sparse *ratio* per layer shape is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["GpuParams", "RTX3080", "gemm_time_us", "layer_speedup"]
+
+
+@dataclass(frozen=True)
+class GpuParams:
+    """Throughput/latency parameters of the modelled GPU."""
+
+    name: str = "RTX 3080 (modelled)"
+    dense_mac_per_us: float = 59.5e6  # 59.5 T MAC/s -> MACs per microsecond
+    sparse_speedup_peak: float = 2.0  # 2:4 tensor core peak ratio
+    dense_efficiency: float = 0.80  # achieved fraction of peak, large GEMMs
+    sparse_efficiency: float = 0.62  # cuSPARSELt achieves less of its peak
+    dram_bytes_per_us: float = 760e3  # 760 GB/s
+    launch_overhead_us: float = 4.0
+    bytes_per_value: int = 2  # FP16
+
+
+RTX3080 = GpuParams()
+
+
+def _utilization(m: int, k: int, n: int) -> float:
+    """Derate small/skinny GEMMs: tiles of 128x128x32 must fill 68 SMs."""
+    tiles = max(1, (m // 128) or 1) * max(1, (n // 128) or 1)
+    fill = min(1.0, tiles / 68.0)
+    depth = min(1.0, k / 512.0)
+    return max(0.15, fill * (0.5 + 0.5 * depth))
+
+
+def gemm_time_us(
+    m: int,
+    k: int,
+    n: int,
+    sparse: bool = False,
+    gpu: GpuParams = RTX3080,
+    x_traffic_factor: float = 1.0,
+) -> float:
+    """Latency of one GEMM ``C[m,n] = W[m,k] @ X[k,n]`` in microseconds.
+
+    ``sparse=True`` uses the 2:4 path: half the weight bytes, doubled peak,
+    lower efficiency.  ``x_traffic_factor`` corrects the activation-operand
+    DRAM traffic for convolutions executed as implicit GEMM: the logical
+    input tensor is read roughly once, not ``kernel_area`` times as a
+    materialised im2col would imply (pass ``1/kernel_area``).
+    """
+    util = _utilization(m, k, n)
+    macs = float(m) * k * n
+    if sparse:
+        peak = gpu.dense_mac_per_us * gpu.sparse_speedup_peak
+        compute = macs / (peak * gpu.sparse_efficiency * util)
+        w_bytes = m * k * gpu.bytes_per_value * 0.5625  # values + 2-bit metadata
+    else:
+        compute = macs / (gpu.dense_mac_per_us * gpu.dense_efficiency * util)
+        w_bytes = m * k * gpu.bytes_per_value
+    traffic = w_bytes + (k * n * x_traffic_factor + m * n) * gpu.bytes_per_value
+    memory = traffic / gpu.dram_bytes_per_us
+    return max(compute, memory) + gpu.launch_overhead_us
+
+
+def layer_speedup(m: int, k: int, n: int, gpu: GpuParams = RTX3080) -> float:
+    """Dense/sparse time ratio for one layer (>1 means 2:4 helps)."""
+    return gemm_time_us(m, k, n, sparse=False, gpu=gpu) / gemm_time_us(
+        m, k, n, sparse=True, gpu=gpu
+    )

@@ -1,0 +1,62 @@
+"""Sparseloop-style analytical accelerator models (Section 5.1's substrate)."""
+
+from .accelerator import (
+    DSTC,
+    TTC,
+    AcceleratorModel,
+    DenseTC,
+    LayerResult,
+    LayerSpec,
+    NetworkResult,
+    StructuredSparseAccelerator,
+)
+from .arch import DEFAULT_ARCH, ArchConfig, Bandwidth, EnergyTable
+from .dataflow import AccessCounts, TileChoice, choose_tiles, count_accesses
+from .designs import TABLE3_DESIGNS, DesignPoint, build_model, design_by_name
+from .mapper import MappingCandidate, best_tiles, run_layer_with_tiles, search_mapping
+from .metrics import NormalizedMetrics, geomean, normalize
+from .schedule import ScheduleStep, TileSchedule, build_fig11_schedule, replay_counts
+from .tasd_unit import (
+    TASDUnitSimResult,
+    min_units_no_stall,
+    service_cycles,
+    simulate_tasd_units,
+)
+
+__all__ = [
+    "ArchConfig",
+    "EnergyTable",
+    "Bandwidth",
+    "DEFAULT_ARCH",
+    "AccessCounts",
+    "TileChoice",
+    "choose_tiles",
+    "count_accesses",
+    "LayerSpec",
+    "LayerResult",
+    "NetworkResult",
+    "AcceleratorModel",
+    "DenseTC",
+    "DSTC",
+    "StructuredSparseAccelerator",
+    "TTC",
+    "DesignPoint",
+    "build_model",
+    "design_by_name",
+    "TABLE3_DESIGNS",
+    "normalize",
+    "NormalizedMetrics",
+    "geomean",
+    "service_cycles",
+    "simulate_tasd_units",
+    "min_units_no_stall",
+    "TASDUnitSimResult",
+    "MappingCandidate",
+    "search_mapping",
+    "best_tiles",
+    "run_layer_with_tiles",
+    "TileSchedule",
+    "ScheduleStep",
+    "build_fig11_schedule",
+    "replay_counts",
+]

@@ -1,0 +1,355 @@
+"""Analytical accelerator models: dense TC, DSTC, structured (VEGETA/STC), TTC.
+
+Each model maps one GEMM layer — dimensions, operand densities, and (for
+structured designs) the TASD series of the decomposed operand — to cycles
+and a per-component energy breakdown, following the Sparseloop methodology
+the paper uses: effectual-compute scaling plus data-movement counting per
+memory level, with a bandwidth roofline on cycles.
+
+Operand convention: A (M x K) is the operand TASD decomposes; B (K x N) is
+the other operand (its density only gates MAC energy on designs that
+support gating).  Workload builders orient weights/activations into A/B per
+experiment (TASD-W: A = weights; TASD-A: A = activations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.series import DENSE_CONFIG, TASDConfig
+
+from .arch import ArchConfig, DEFAULT_ARCH
+from .dataflow import AccessCounts, choose_tiles, count_accesses
+
+__all__ = [
+    "LayerSpec",
+    "LayerResult",
+    "NetworkResult",
+    "AcceleratorModel",
+    "DenseTC",
+    "DSTC",
+    "StructuredSparseAccelerator",
+    "TTC",
+]
+
+
+def _ceil_div(a: int, b: int) -> int:
+    return -(-a // b)
+
+
+@dataclass(frozen=True)
+class LayerSpec:
+    """One GEMM layer of a workload.
+
+    ``a_config`` is the TASD series structured designs run A with (dense
+    config = no decomposition); unstructured/dense designs ignore it and see
+    only the raw densities.  ``a_dynamic`` marks A as runtime-generated
+    activations (TASD-A), which costs TASD-unit energy on TTC designs.
+    """
+
+    name: str
+    m: int
+    k: int
+    n: int
+    a_density: float = 1.0
+    b_density: float = 1.0
+    a_config: TASDConfig = DENSE_CONFIG
+    a_dynamic: bool = False
+
+    @property
+    def dense_macs(self) -> int:
+        return self.m * self.k * self.n
+
+
+@dataclass
+class LayerResult:
+    """Cycles + energy of one layer on one design."""
+
+    name: str
+    cycles: float
+    energy_breakdown: dict[str, float]  # component -> pJ
+    effectual_macs: float
+    dense_macs: int
+    compute_cycles: float = 0.0
+    memory_cycles: float = 0.0
+
+    @property
+    def energy(self) -> float:
+        return sum(self.energy_breakdown.values())
+
+    @property
+    def edp(self) -> float:
+        return self.energy * self.cycles
+
+
+@dataclass
+class NetworkResult:
+    """Aggregate over a network's layers (the paper's 'Overall' bars)."""
+
+    design: str
+    layers: list[LayerResult] = field(default_factory=list)
+
+    @property
+    def cycles(self) -> float:
+        return sum(r.cycles for r in self.layers)
+
+    @property
+    def energy(self) -> float:
+        return sum(r.energy for r in self.layers)
+
+    @property
+    def edp(self) -> float:
+        return self.energy * self.cycles
+
+    def energy_by_component(self) -> dict[str, float]:
+        out: dict[str, float] = {}
+        for r in self.layers:
+            for comp, pj in r.energy_breakdown.items():
+                out[comp] = out.get(comp, 0.0) + pj
+        return out
+
+
+class AcceleratorModel:
+    """Base: shared roofline + traffic-energy helpers."""
+
+    def __init__(self, arch: ArchConfig = DEFAULT_ARCH, name: str | None = None) -> None:
+        self.arch = arch
+        self.name = name or arch.name
+
+    # ------------------------------------------------------------------ #
+    def run_layer(self, spec: LayerSpec) -> LayerResult:
+        raise NotImplementedError
+
+    def run_network(self, specs: list[LayerSpec]) -> NetworkResult:
+        result = NetworkResult(design=self.name)
+        result.layers = [self.run_layer(s) for s in specs]
+        return result
+
+    # ------------------------------------------------------------------ #
+    def _dense_compute_cycles(self, m: int, k: int, n: int) -> float:
+        """Output tiles round-robined over engines, K cycles per tile."""
+        tiles = _ceil_div(m, self.arch.pe_rows) * _ceil_div(n, self.arch.pe_cols)
+        waves = _ceil_div(tiles, self.arch.num_engines)
+        return waves * k
+
+    def _memory_cycles(self, counts: AccessCounts) -> float:
+        bw = self.arch.bandwidth
+        return max(
+            counts.total("dram") / bw.dram,
+            counts.total("l2") / bw.l2,
+            counts.total("l1") / bw.l1,
+        )
+
+    def _traffic_energy(self, counts: AccessCounts) -> dict[str, float]:
+        e = self.arch.energy
+        return {
+            "dram": counts.total("dram") * e.dram,
+            "l2": counts.total("l2") * e.l2,
+            "l1": counts.total("l1") * e.l1,
+        }
+
+    def _finish(
+        self,
+        spec: LayerSpec,
+        compute_cycles: float,
+        counts: AccessCounts,
+        breakdown: dict[str, float],
+        effectual_macs: float,
+    ) -> LayerResult:
+        breakdown.update(self._traffic_energy(counts))
+        memory_cycles = self._memory_cycles(counts)
+        cycles = max(compute_cycles, memory_cycles)
+        return LayerResult(
+            name=spec.name,
+            cycles=cycles,
+            energy_breakdown=breakdown,
+            effectual_macs=effectual_macs,
+            dense_macs=spec.dense_macs,
+            compute_cycles=compute_cycles,
+            memory_cycles=memory_cycles,
+        )
+
+
+class DenseTC(AcceleratorModel):
+    """Dense tensor core: no sparsity exploitation, no gating (Table 1 row 1)."""
+
+    def __init__(self, arch: ArchConfig = DEFAULT_ARCH) -> None:
+        super().__init__(arch, name="TC")
+
+    def run_layer(self, spec: LayerSpec) -> LayerResult:
+        counts = count_accesses(spec.m, spec.k, spec.n, self.arch)
+        compute = self._dense_compute_cycles(spec.m, spec.k, spec.n) / self.arch.compute_efficiency
+        macs = float(spec.dense_macs)
+        e = self.arch.energy
+        breakdown = {
+            "mac": macs * e.mac * self.arch.mac_energy_overhead,
+            "rf": macs * counts.rf_per_mac * e.rf,
+        }
+        return self._finish(spec, compute, counts, breakdown, macs)
+
+
+class DSTC(AcceleratorModel):
+    """Dual-side unstructured sparse tensor core (Wang et al., 2021).
+
+    Skips compute with the product of operand densities, but pays: MAC
+    energy overhead for the flexible datapath, per-MAC coordinate/index
+    logic, outer-product accumulation-buffer traffic, compressed-operand
+    metadata (~50 % of kept values), and a load-imbalance efficiency derate.
+    When operands are dense these overheads make it *worse* than TC — the
+    Fig. 12 dense-BERT result.
+    """
+
+    def __init__(
+        self,
+        arch: ArchConfig = DEFAULT_ARCH,
+        efficiency: float = 0.95,
+        mac_overhead: float = 1.38,
+        metadata_factor: float = 1.5,
+        accum_accesses_per_mac: float = 2.0,
+        accum_spill_k: int = 256,
+        imbalance_coeff: float = 0.5,
+        imbalance_chunk: int = 64,
+    ) -> None:
+        super().__init__(arch, name="DSTC")
+        self.efficiency = efficiency
+        self.mac_overhead = mac_overhead
+        self.metadata_factor = metadata_factor
+        self.accum_accesses_per_mac = accum_accesses_per_mac
+        self.accum_spill_k = accum_spill_k
+        self.imbalance_coeff = imbalance_coeff
+        self.imbalance_chunk = imbalance_chunk
+
+    def _imbalance(self, density: float) -> float:
+        """Cycle inflation from load imbalance across PE lanes.
+
+        Lanes process ~Binomial(chunk, density) non-zeros per synchronised
+        chunk; the array waits for the slowest lane.  The relative excess of
+        the max over the mean scales like the coefficient of variation,
+        ``sqrt((1-d)/(d*chunk))`` — small when dense, severe at high
+        sparsity (Section 2.3's "workload imbalance problems").
+        """
+        d = max(density, 1e-6)
+        cv = np.sqrt((1.0 - d) / (d * self.imbalance_chunk))
+        return 1.0 + self.imbalance_coeff * cv
+
+    def _compressed_factor(self, density: float) -> float:
+        """Traffic factor for one operand: compressed (values + coords) when
+        sparse enough for compression to pay off, raw otherwise."""
+        compressed = density * self.metadata_factor
+        return min(1.0, compressed)
+
+    def run_layer(self, spec: LayerSpec) -> LayerResult:
+        counts = count_accesses(spec.m, spec.k, spec.n, self.arch)
+        counts = counts.scaled("A", self._compressed_factor(spec.a_density))
+        counts = counts.scaled("B", self._compressed_factor(spec.b_density))
+        # Outer-product partial sums spill to L2 every accum_spill_k of K.
+        spills = max(1, _ceil_div(spec.k, self.accum_spill_k))
+        counts.l2["C"] *= spills
+        macs = spec.dense_macs * spec.a_density * spec.b_density
+        pair_density = spec.a_density * spec.b_density
+        compute = (
+            self._dense_compute_cycles(spec.m, spec.k, spec.n)
+            * pair_density
+            * self._imbalance(pair_density)
+            / self.efficiency
+        )
+        e = self.arch.energy
+        breakdown = {
+            "mac": macs * e.mac * self.mac_overhead,
+            "accum": macs * self.accum_accesses_per_mac * e.accum_buffer,
+            "index": macs * e.index_logic,
+            "rf": macs * 2.0 * e.rf,  # a/b reads; c lives in the accum buffer
+        }
+        return self._finish(spec, compute, counts, breakdown, macs)
+
+
+class StructuredSparseAccelerator(AcceleratorModel):
+    """N:M structured sparse accelerator (STC / VEGETA family, Table 1 row 3).
+
+    Executes A under its TASD series: per term, the K loop contracts to
+    ``n_i/m_i`` of dense; A traffic shrinks to compressed storage; B is
+    re-read from L2 once per term (kept resident — the decomposition-aware
+    dataflow) with L1 reads gathered per term density; C pays one extra L1
+    round-trip per additional term.  MAC energy is gated by B-side sparsity
+    (``gate_on_b``), a structured-HW freebie the dense TC lacks.
+    """
+
+    def __init__(
+        self,
+        arch: ArchConfig = DEFAULT_ARCH,
+        name: str = "StructuredSparse",
+        gate_on_b: bool = True,
+    ) -> None:
+        super().__init__(arch, name=name)
+        self.gate_on_b = gate_on_b
+
+    # ------------------------------------------------------------------ #
+    def _series_counts(self, spec: LayerSpec) -> tuple[AccessCounts, float, float]:
+        """Traffic, compute-density and storage-fraction of the series."""
+        config = spec.a_config
+        counts = count_accesses(spec.m, spec.k, spec.n, self.arch)
+        if config.is_dense:
+            return counts, 1.0, 1.0
+        terms = config.patterns
+        density = config.density
+        storage = min(1.0, sum(p.storage_fraction(16) for p in terms))
+        n_terms = len(terms)
+        counts = counts.scaled("A", storage)
+        # B stays resident in L2 across terms (decomposition-aware dataflow);
+        # each term's pass fetches only the lanes its metadata selects, so
+        # both L2 and L1 B-traffic scale with the summed term density.
+        counts.l2["B"] *= density
+        counts.l1["B"] *= density
+        counts.l1["C"] *= 2 * n_terms - 1  # partial-sum round-trips across terms
+        return counts, density, storage
+
+    def run_layer(self, spec: LayerSpec) -> LayerResult:
+        counts, density, _ = self._series_counts(spec)
+        compute = (
+            self._dense_compute_cycles(spec.m, spec.k, spec.n)
+            * density
+            / self.arch.compute_efficiency
+        )
+        # Effectual MACs: the pattern slots actually carrying non-zeros.
+        # Zero-gating (A slots and B operands) is part of the sparse datapath —
+        # it engages only when a structured config runs; plain dense execution
+        # behaves exactly like the dense TC (the Fig. 19 "VEGETA without
+        # TASDER ≈ 1.0" condition).
+        if spec.a_config.is_dense:
+            macs = float(spec.dense_macs)
+        else:
+            a_kept = min(spec.a_density, density)
+            gate = spec.b_density if self.gate_on_b else 1.0
+            macs = spec.dense_macs * a_kept * gate
+        e = self.arch.energy
+        breakdown = {
+            "mac": macs * e.mac * self.arch.mac_energy_overhead,
+            "rf": spec.dense_macs * density * counts.rf_per_mac * e.rf,
+        }
+        breakdown.update(self._tasd_unit_energy(spec))
+        return self._finish(spec, compute, counts, breakdown, macs)
+
+    def _tasd_unit_energy(self, spec: LayerSpec) -> dict[str, float]:
+        return {}
+
+
+class TTC(StructuredSparseAccelerator):
+    """TASD Tensor Core: a structured accelerator plus TASD units (Fig. 9).
+
+    Adds the dynamic-decomposition energy when A is a runtime activation
+    tensor: extracting ``Σ n_i`` values per M-block costs about ``M``
+    comparator ops each (sequential max extraction, Section 4.4).
+    """
+
+    def __init__(self, arch: ArchConfig = DEFAULT_ARCH, name: str = "TTC", gate_on_b: bool = True) -> None:
+        super().__init__(arch, name=name, gate_on_b=gate_on_b)
+
+    def _tasd_unit_energy(self, spec: LayerSpec) -> dict[str, float]:
+        config = spec.a_config
+        if config.is_dense or not spec.a_dynamic:
+            return {}
+        compares_per_element = sum(p.n * (p.m - 1) / p.m for p in config.patterns)
+        a_words = spec.m * spec.k
+        return {"tasd_unit": a_words * compares_per_element * self.arch.energy.tasd_compare}

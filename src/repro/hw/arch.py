@@ -1,0 +1,85 @@
+"""Architecture configuration: PE array, memory hierarchy, energy tables.
+
+Mirrors the evaluation setup of Section 5.1: every design shares the same
+memory hierarchy and MAC count (4 engines x 16x16 PEs), so differences come
+only from sparsity support.  Energy-per-access constants follow the
+Eyeriss/Sparseloop lineage of public numbers (16-bit datapath, 45 nm-class
+relative costs); absolute joules are not the claim — relative EDP is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+__all__ = ["EnergyTable", "Bandwidth", "ArchConfig", "DEFAULT_ARCH"]
+
+
+@dataclass(frozen=True)
+class EnergyTable:
+    """Energy per access / operation, in pJ (16-bit words)."""
+
+    mac: float = 1.0
+    rf: float = 0.15
+    l1: float = 1.5
+    l2: float = 8.0
+    dram: float = 120.0
+    accum_buffer: float = 4.0  # DSTC's outer-product accumulation SRAM (incl. conflicts)
+    index_logic: float = 0.4  # per-effectual-MAC coordinate computation (unstructured)
+    tasd_compare: float = 0.05  # one comparator op inside a TASD unit
+
+    def scaled(self, **overrides: float) -> "EnergyTable":
+        return replace(self, **overrides)
+
+
+@dataclass(frozen=True)
+class Bandwidth:
+    """Peak words per cycle between adjacent levels (shared across engines)."""
+
+    dram: float = 32.0
+    l2: float = 128.0
+    l1: float = 256.0
+
+
+@dataclass(frozen=True)
+class ArchConfig:
+    """One accelerator instance (Table 3 row).
+
+    ``mac_energy_overhead`` models the area/power cost of sparsity support
+    logic (e.g. SIGMA's 38 % / SCNN's 34 % overheads quoted in Section 2.3);
+    it multiplies MAC energy.  ``compute_efficiency`` derates peak
+    utilisation for designs with load-imbalance-prone datapaths.
+    """
+
+    name: str = "TTC"
+    num_engines: int = 4
+    pe_rows: int = 16
+    pe_cols: int = 16
+    l1_kib: int = 64
+    l2_kib: int = 2048
+    energy: EnergyTable = field(default_factory=EnergyTable)
+    bandwidth: Bandwidth = field(default_factory=Bandwidth)
+    mac_energy_overhead: float = 1.0
+    compute_efficiency: float = 1.0
+
+    @property
+    def macs_per_cycle(self) -> int:
+        return self.num_engines * self.pe_rows * self.pe_cols
+
+    @property
+    def l1_words(self) -> int:
+        return self.l1_kib * 1024 // 2  # 16-bit words
+
+    @property
+    def l2_words(self) -> int:
+        return self.l2_kib * 1024 // 2
+
+    def with_overheads(self, mac_energy_overhead: float, compute_efficiency: float, name: str | None = None) -> "ArchConfig":
+        return replace(
+            self,
+            mac_energy_overhead=mac_energy_overhead,
+            compute_efficiency=compute_efficiency,
+            name=name or self.name,
+        )
+
+
+DEFAULT_ARCH = ArchConfig()

@@ -1,0 +1,138 @@
+"""Tiled-GEMM dataflow: access counting per memory level (Timeloop-lite).
+
+Models the mapping of Fig. 11: C tiles stationary in each engine's L1, B
+tiles stationary in the shared L2, A (the decomposed operand) streamed
+through and held element-stationary in PE register files.  Access counts
+follow the standard tiled-GEMM reuse algebra and are verified against an
+explicit loop-nest simulation in the tests (conservation property: every
+level's reads of a tensor are at least the level below's refills).
+
+Conventions: ``C[M,N] += A[M,K] @ B[K,N]`` — A is always the operand TASD
+decomposes (weights for TASD-W, activations for TASD-A; the workload layer
+orients accordingly).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from .arch import ArchConfig
+
+__all__ = ["TileChoice", "AccessCounts", "choose_tiles", "count_accesses"]
+
+
+def _ceil_div(a: int, b: int) -> int:
+    return -(-a // b)
+
+
+@dataclass(frozen=True)
+class TileChoice:
+    """Tile sizes at the L2 (shared) and L1 (per-engine) levels.
+
+    ``tm2 x tn2`` is the C-footprint an L2 residency covers (with full K);
+    ``tm1 x tn1`` is one engine's output tile (the PE array shape).
+    """
+
+    tm2: int
+    tn2: int
+    tm1: int
+    tn1: int
+
+    def l2_words(self, k: int) -> int:
+        """L2 residency: the B slab (K x tn2) plus an A stripe (tm2 x K)."""
+        return k * self.tn2 + self.tm2 * k
+
+    def l1_words(self, k: int) -> int:
+        """L1 residency per engine: C tile + current B column block."""
+        return self.tm1 * self.tn1 + k * self.tn1
+
+
+def choose_tiles(m: int, k: int, n: int, arch: ArchConfig) -> TileChoice:
+    """Pick tile sizes that fit the hierarchy (greedy, capacity-driven).
+
+    tn2 grows first (the paper: "by increasing the tile size for GEMM-N
+    dimension, the reuse count for A tile could increase, limited by SMEM
+    capacity"), then tm2 takes what is left of L2.
+    """
+    tm1, tn1 = arch.pe_rows, arch.pe_cols
+    # Largest tn2 (multiple of tn1) whose B slab leaves room for an A stripe.
+    budget = arch.l2_words
+    tn2 = min(n, max(tn1, (budget // 2 // max(1, k)) // tn1 * tn1))
+    tn2 = max(tn1, min(tn2, _ceil_div(n, tn1) * tn1))
+    remaining = max(0, budget - k * tn2)
+    tm2 = min(m, max(tm1, (remaining // max(1, k)) // tm1 * tm1))
+    tm2 = max(tm1, tm2)
+    return TileChoice(tm2=tm2, tn2=tn2, tm1=tm1, tn1=tn1)
+
+
+@dataclass
+class AccessCounts:
+    """Word-granularity access counts per tensor per level boundary.
+
+    ``dram[t]`` counts words of tensor ``t`` crossing DRAM<->L2;
+    ``l2[t]`` counts L2<->L1 crossings; ``l1[t]`` counts L1<->PE/RF reads;
+    ``rf_per_mac`` is register-file accesses per effectual MAC.
+    """
+
+    dram: dict[str, float] = field(default_factory=dict)
+    l2: dict[str, float] = field(default_factory=dict)
+    l1: dict[str, float] = field(default_factory=dict)
+    rf_per_mac: float = 4.0  # a, b reads + c read/modify/write at the PE
+
+    def total(self, level: str) -> float:
+        return sum(getattr(self, level).values())
+
+    def scaled(self, tensor: str, factor: float) -> "AccessCounts":
+        """A copy with one tensor's traffic scaled at every level."""
+        out = AccessCounts(dict(self.dram), dict(self.l2), dict(self.l1), self.rf_per_mac)
+        for level in (out.dram, out.l2, out.l1):
+            if tensor in level:
+                level[tensor] *= factor
+        return out
+
+
+def count_accesses(m: int, k: int, n: int, arch: ArchConfig, tiles: TileChoice | None = None) -> AccessCounts:
+    """Dense access counts for the Fig. 11 mapping.
+
+    Loop nest (outer to inner)::
+
+        for n2 in N/tn2:          # B slab resident in L2
+          for m2 in M/tm2:        # A stripe streamed into L2
+            for m1, n1 in tiles:  # engines; C tile resident in L1/RF
+              for k in K:         # A element stationary in RF across tn1
+
+    - A crosses DRAM once per n2 iteration (re-streamed per B slab).
+    - B crosses DRAM once (each slab read once, reused across all m2).
+    - C crosses DRAM once (written; accumulation completes on-chip since
+      the K loop is innermost of the residency).
+    - L2->L1: A read once per n1 subtile; B read once per m1 subtile.
+    - L1->PE: A read once per n1 subtile (then RF-resident for tn1 MACs);
+      B read once per m1 subtile row; C stays in RF until K completes.
+    """
+    tiles = tiles or choose_tiles(m, k, n, arch)
+    n2_iters = _ceil_div(n, tiles.tn2)
+    m1_per_m = _ceil_div(m, tiles.tm1)
+    n1_per_n = _ceil_div(n, tiles.tn1)
+
+    counts = AccessCounts()
+    a_words = m * k
+    b_words = k * n
+    c_words = m * n
+
+    counts.dram = {
+        "A": float(a_words * n2_iters),
+        "B": float(b_words),
+        "C": float(c_words),
+    }
+    counts.l2 = {
+        "A": float(a_words * n1_per_n),
+        "B": float(b_words * m1_per_m),
+        "C": float(c_words),
+    }
+    counts.l1 = {
+        "A": float(a_words * n1_per_n),
+        "B": float(b_words * m1_per_m),
+        "C": float(c_words),
+    }
+    return counts

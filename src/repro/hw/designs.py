@@ -1,0 +1,75 @@
+"""The six evaluated hardware designs (Table 3) as ready-made model factories.
+
+All share :data:`repro.hw.arch.DEFAULT_ARCH` (same hierarchy, same MAC
+count, Section 5.1's fairness condition); they differ only in sparsity
+support, which is exactly the paper's experimental control.
+"""
+
+from __future__ import annotations
+
+from repro.tasder.config import (
+    HardwareMenu,
+    STC_2_4,
+    TTC_STC_M4,
+    TTC_STC_M8,
+    TTC_VEGETA_M4,
+    TTC_VEGETA_M8,
+    VEGETA_M8,
+)
+
+from .accelerator import DSTC, AcceleratorModel, DenseTC, StructuredSparseAccelerator, TTC
+from .arch import DEFAULT_ARCH, ArchConfig
+
+__all__ = ["DesignPoint", "TABLE3_DESIGNS", "build_model", "design_by_name"]
+
+
+class DesignPoint:
+    """An accelerator model paired with its TASDER-visible pattern menu."""
+
+    def __init__(self, name: str, model: AcceleratorModel, menu: HardwareMenu | None) -> None:
+        self.name = name
+        self.model = model
+        self.menu = menu  # None for designs TASDER cannot target (TC, DSTC)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"DesignPoint({self.name})"
+
+
+def build_model(name: str, arch: ArchConfig = DEFAULT_ARCH) -> DesignPoint:
+    """Instantiate one of the evaluated designs by Table 3 name."""
+    name_l = name.lower()
+    if name_l == "tc":
+        return DesignPoint("TC", DenseTC(arch), None)
+    if name_l == "dstc":
+        return DesignPoint("DSTC", DSTC(arch), None)
+    if name_l == "vegeta":
+        return DesignPoint(
+            "VEGETA", StructuredSparseAccelerator(arch, name="VEGETA"), VEGETA_M8
+        )
+    if name_l == "stc":
+        return DesignPoint("STC", StructuredSparseAccelerator(arch, name="STC"), STC_2_4)
+    menus = {
+        "ttc-stc-m4": TTC_STC_M4,
+        "ttc-stc-m8": TTC_STC_M8,
+        "ttc-vegeta-m4": TTC_VEGETA_M4,
+        "ttc-vegeta-m8": TTC_VEGETA_M8,
+    }
+    if name_l in menus:
+        menu = menus[name_l]
+        return DesignPoint(menu.name, TTC(arch, name=menu.name), menu)
+    raise ValueError(f"unknown design {name!r}")
+
+
+TABLE3_DESIGNS = (
+    "TC",
+    "DSTC",
+    "TTC-STC-M4",
+    "TTC-STC-M8",
+    "TTC-VEGETA-M4",
+    "TTC-VEGETA-M8",
+)
+
+
+def design_by_name(name: str) -> DesignPoint:
+    """Alias of :func:`build_model` with the default architecture."""
+    return build_model(name)

@@ -1,0 +1,94 @@
+"""Design-space exploration over structured-sparsity support.
+
+Section 5.2's observation — "the extra flexibility (increasing M) in the
+baseline accelerator increases the benefit" — generalises to a design
+space: block size M, the set of native patterns, and the TASD term budget.
+This module sweeps that space with the analytical model and the workload
+suite, quantifying how much each axis of flexibility buys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.patterns import NMPattern
+from repro.tasder.config import HardwareMenu
+
+from .accelerator import TTC, DenseTC
+from .designs import DesignPoint
+from .metrics import geomean
+
+__all__ = ["DesignSweepPoint", "sweep_term_budget", "sweep_block_size", "power_of_two_menu"]
+
+
+def power_of_two_menu(m: int, max_terms: int, name: str | None = None) -> HardwareMenu:
+    """A VEGETA-style menu with native patterns {1, 2, 4, ..., m/2} : m."""
+    patterns = []
+    n = 1
+    while n < m:
+        patterns.append(NMPattern(n, m))
+        n *= 2
+    return HardwareMenu(
+        name or f"TTC-N:{m}-{max_terms}T",
+        tuple(patterns),
+        max_terms=max_terms,
+        dynamic_decomposition=True,
+    )
+
+
+@dataclass(frozen=True)
+class DesignSweepPoint:
+    """One evaluated design with its cross-workload geomean EDP."""
+
+    label: str
+    block_size: int
+    max_terms: int
+    menu_size: int
+    geomean_edp: float
+
+
+def _evaluate(menu: HardwareMenu) -> float:
+    from repro.workloads import PAPER_WORKLOADS, build_layer_specs
+
+    design = DesignPoint(menu.name, TTC(name=menu.name), menu)
+    tc = DesignPoint("TC", DenseTC(), None)
+    edps = []
+    for wl in PAPER_WORKLOADS():
+        base = tc.model.run_network(build_layer_specs(wl, tc, use_tasder=False))
+        result = design.model.run_network(build_layer_specs(wl, design))
+        edps.append(result.edp / base.edp)
+    return geomean(edps)
+
+
+def sweep_term_budget(m: int = 8, budgets: tuple[int, ...] = (1, 2, 3)) -> list[DesignSweepPoint]:
+    """How much does each extra TASD term buy, at fixed block size?"""
+    points = []
+    for budget in budgets:
+        menu = power_of_two_menu(m, budget)
+        points.append(
+            DesignSweepPoint(
+                label=menu.name,
+                block_size=m,
+                max_terms=budget,
+                menu_size=len(menu.menu()),
+                geomean_edp=_evaluate(menu),
+            )
+        )
+    return points
+
+
+def sweep_block_size(ms: tuple[int, ...] = (4, 8, 16), max_terms: int = 2) -> list[DesignSweepPoint]:
+    """How much does a larger block size buy, at a fixed term budget?"""
+    points = []
+    for m in ms:
+        menu = power_of_two_menu(m, max_terms)
+        points.append(
+            DesignSweepPoint(
+                label=menu.name,
+                block_size=m,
+                max_terms=max_terms,
+                menu_size=len(menu.menu()),
+                geomean_edp=_evaluate(menu),
+            )
+        )
+    return points

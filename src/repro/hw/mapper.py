@@ -1,0 +1,118 @@
+"""Mapping search: choose tile sizes by sweeping the map space (Timeloop-style).
+
+`repro.hw.dataflow.choose_tiles` picks tiles with a capacity heuristic; real
+mappers (Timeloop/CoSA/ZigZag, all cited in Section 5.1) *search*.  This
+module implements that search for the 2-level tiling used here: enumerate
+capacity-legal (tm2, tn2) candidates, evaluate each with the full analytical
+model, and keep the best by EDP (or latency / energy).
+
+The ablation bench compares the heuristic against the searched mapping to
+quantify how much performance the one-shot heuristic leaves behind.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal
+
+from .accelerator import AcceleratorModel, LayerResult, LayerSpec
+from .arch import ArchConfig
+from .dataflow import TileChoice
+
+__all__ = ["MappingCandidate", "search_mapping", "best_tiles"]
+
+Objective = Literal["edp", "latency", "energy"]
+
+
+@dataclass(frozen=True)
+class MappingCandidate:
+    """One evaluated tiling with its metrics."""
+
+    tiles: TileChoice
+    cycles: float
+    energy: float
+
+    @property
+    def edp(self) -> float:
+        return self.energy * self.cycles
+
+
+def _candidate_sizes(extent: int, unit: int, max_candidates: int = 8) -> list[int]:
+    """Geometric ladder of tile sizes: unit, 2*unit, ... capped at extent."""
+    sizes = []
+    size = unit
+    while size < extent and len(sizes) < max_candidates - 1:
+        sizes.append(size)
+        size *= 2
+    sizes.append(extent)
+    return sorted(set(sizes))
+
+
+def search_mapping(
+    model: AcceleratorModel,
+    spec: LayerSpec,
+    objective: Objective = "edp",
+    max_candidates_per_dim: int = 8,
+) -> tuple[MappingCandidate, list[MappingCandidate]]:
+    """Sweep (tm2, tn2) and return (best, all evaluated candidates).
+
+    Candidates must fit the L2 capacity; each is evaluated by temporarily
+    overriding the model's tile choice.  The model instance is left
+    untouched (the override is plumbed through ``run_layer_with_tiles``).
+    """
+    arch = model.arch
+    tm1, tn1 = arch.pe_rows, arch.pe_cols
+    evaluated: list[MappingCandidate] = []
+    for tm2 in _candidate_sizes(spec.m, tm1, max_candidates_per_dim):
+        for tn2 in _candidate_sizes(spec.n, tn1, max_candidates_per_dim):
+            tiles = TileChoice(tm2=tm2, tn2=tn2, tm1=tm1, tn1=tn1)
+            if tiles.l2_words(spec.k) > arch.l2_words:
+                continue
+            result = run_layer_with_tiles(model, spec, tiles)
+            evaluated.append(
+                MappingCandidate(tiles=tiles, cycles=result.cycles, energy=result.energy)
+            )
+    if not evaluated:
+        raise ValueError(
+            f"no capacity-legal mapping for {spec.name} (K={spec.k} words "
+            f"exceed L2 {arch.l2_words})"
+        )
+    key = {
+        "edp": lambda c: c.edp,
+        "latency": lambda c: c.cycles,
+        "energy": lambda c: c.energy,
+    }[objective]
+    best = min(evaluated, key=key)
+    return best, evaluated
+
+
+def run_layer_with_tiles(
+    model: AcceleratorModel, spec: LayerSpec, tiles: TileChoice
+) -> LayerResult:
+    """Evaluate one layer under an explicit tile choice.
+
+    Monkey-patches the dataflow's tile chooser for the duration of one call;
+    the accelerator models funnel all tiling decisions through
+    ``count_accesses``'s optional ``tiles`` argument via this hook.
+    """
+    from . import accelerator as accel_mod
+    from . import dataflow as dataflow_mod
+
+    original = dataflow_mod.choose_tiles
+
+    def forced(m: int, k: int, n: int, arch: ArchConfig) -> TileChoice:
+        return tiles
+
+    dataflow_mod.choose_tiles = forced
+    accel_mod.choose_tiles = forced
+    try:
+        return model.run_layer(spec)
+    finally:
+        dataflow_mod.choose_tiles = original
+        accel_mod.choose_tiles = original
+
+
+def best_tiles(model: AcceleratorModel, spec: LayerSpec, objective: Objective = "edp") -> TileChoice:
+    """Convenience: just the winning tile choice."""
+    best, _ = search_mapping(model, spec, objective)
+    return best.tiles

@@ -1,0 +1,46 @@
+"""EDP / speed-up metrics and normalisation helpers (Figs. 12, 13, 19)."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .accelerator import NetworkResult
+
+__all__ = ["NormalizedMetrics", "normalize", "geomean"]
+
+
+@dataclass(frozen=True)
+class NormalizedMetrics:
+    """One design's metrics relative to a baseline (usually dense TC)."""
+
+    design: str
+    edp: float
+    latency: float
+    energy: float
+
+    @property
+    def edp_improvement(self) -> float:
+        """'Improves EDP by X %' in the paper's phrasing (1 - normalized)."""
+        return 1.0 - self.edp
+
+
+def normalize(result: NetworkResult, baseline: NetworkResult) -> NormalizedMetrics:
+    """Normalise a design's network result against the baseline's."""
+    if baseline.cycles <= 0 or baseline.energy <= 0:
+        raise ValueError("baseline has non-positive cycles/energy")
+    return NormalizedMetrics(
+        design=result.design,
+        edp=result.edp / baseline.edp,
+        latency=result.cycles / baseline.cycles,
+        energy=result.energy / baseline.energy,
+    )
+
+
+def geomean(values: list[float]) -> float:
+    """Geometric mean (the paper's cross-workload aggregate)."""
+    if not values:
+        raise ValueError("geomean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))

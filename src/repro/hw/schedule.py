@@ -1,0 +1,154 @@
+"""The Fig. 11 decomposition-aware schedule, simulated tile by tile.
+
+Fig. 11 maps an approximated GEMM (A decomposed as 4:8 + 1:8) onto four
+TTCs across timesteps: every engine owns one A-row stripe, B column-blocks
+are broadcast, C tiles stay resident per engine, and *consecutive timesteps
+run successive TASD terms against the same B/C tiles* — the reuse that makes
+multi-term TASD cheap.
+
+This module builds that schedule explicitly and replays it, counting per-
+tile fetches so the reuse claims of Section 4.4 become checkable facts:
+
+* B tiles are fetched from L2 once per (B-block x term-group), then reused
+  across the engines' timestep pair;
+* C tiles are written back exactly once, at the very end (the "swap C tiles
+  at the very end" rule);
+* A term-tiles stream in exactly once each.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.series import TASDConfig
+
+__all__ = ["ScheduleStep", "TileSchedule", "build_fig11_schedule", "replay_counts"]
+
+
+@dataclass(frozen=True)
+class ScheduleStep:
+    """One (timestep, engine) cell of the Fig. 11 mapping."""
+
+    timestep: int
+    engine: int
+    a_stripe: int  # A row-stripe index (engine-owned)
+    term: int  # TASD term index executed this timestep
+    b_block: int  # B column-block index
+    c_tile: int  # C tile accumulated into (== a_stripe x b_block flattened)
+
+
+@dataclass
+class TileSchedule:
+    """A full schedule plus its static structure."""
+
+    steps: list[ScheduleStep] = field(default_factory=list)
+    num_engines: int = 4
+    num_terms: int = 2
+    a_stripes: int = 4
+    b_blocks: int = 2
+
+    @property
+    def num_timesteps(self) -> int:
+        return max(s.timestep for s in self.steps) + 1 if self.steps else 0
+
+
+def build_fig11_schedule(
+    config: TASDConfig,
+    a_stripes: int = 4,
+    b_blocks: int = 2,
+    num_engines: int = 4,
+) -> TileSchedule:
+    """Construct the Fig. 11 mapping for an arbitrary TASD series.
+
+    Timestep layout generalises the figure: for every B column-block, run
+    the series terms back-to-back (term-major) so B and C stay resident;
+    engines process their own A stripe in parallel.  With 2 terms and 2
+    B-blocks this is exactly the paper's four timesteps.
+    """
+    num_terms = max(1, config.order)
+    if a_stripes % num_engines:
+        raise ValueError("a_stripes must be a multiple of num_engines")
+    schedule = TileSchedule(
+        num_engines=num_engines, num_terms=num_terms,
+        a_stripes=a_stripes, b_blocks=b_blocks,
+    )
+    timestep = 0
+    stripe_rounds = a_stripes // num_engines
+    for b_block in range(b_blocks):
+        for term in range(num_terms):
+            for round_idx in range(stripe_rounds):
+                for engine in range(num_engines):
+                    stripe = round_idx * num_engines + engine
+                    schedule.steps.append(
+                        ScheduleStep(
+                            timestep=timestep,
+                            engine=engine,
+                            a_stripe=stripe,
+                            term=term,
+                            b_block=b_block,
+                            c_tile=stripe * b_blocks + b_block,
+                        )
+                    )
+                timestep += 1
+    return schedule
+
+
+@dataclass(frozen=True)
+class ReplayCounts:
+    """Fetch/writeback counts from replaying a schedule with tile caches."""
+
+    a_fetches: int
+    b_l2_fetches: int
+    b_reuse_hits: int
+    c_writebacks: int
+    c_spills: int  # C tiles evicted before their accumulation finished
+
+
+def replay_counts(schedule: TileSchedule) -> ReplayCounts:
+    """Replay the schedule against single-slot B and per-engine C residency.
+
+    Models the paper's storage discipline: each engine holds one C tile in
+    L1 (switching C tiles mid-accumulation would spill partial sums), and
+    the shared L2 holds one B block at a time (a new block evicts the old).
+    """
+    a_fetches = 0
+    b_l2_fetches = 0
+    b_reuse_hits = 0
+    c_writebacks = 0
+    c_spills = 0
+    resident_b: int | None = None
+    engine_c: dict[int, int | None] = {e: None for e in range(schedule.num_engines)}
+    contributions: dict[int, int] = {}
+    c_done: set[int] = set()
+    # Steps grouped by timestep, replayed in order.
+    by_time: dict[int, list[ScheduleStep]] = {}
+    for step in schedule.steps:
+        by_time.setdefault(step.timestep, []).append(step)
+    for t in sorted(by_time):
+        for step in by_time[t]:
+            a_fetches += 1  # term stripes always stream in
+            if resident_b != step.b_block:
+                b_l2_fetches += 1
+                resident_b = step.b_block
+            else:
+                b_reuse_hits += 1
+            held = engine_c[step.engine]
+            if held is not None and held != step.c_tile:
+                if held not in c_done:
+                    c_spills += 1
+                c_writebacks += 1
+            engine_c[step.engine] = step.c_tile
+            contributions[step.c_tile] = contributions.get(step.c_tile, 0) + 1
+            if contributions[step.c_tile] == schedule.num_terms:
+                c_done.add(step.c_tile)
+    # Flush whatever each engine still holds (now complete).
+    for held in engine_c.values():
+        if held is not None:
+            c_writebacks += 1
+    return ReplayCounts(
+        a_fetches=a_fetches,
+        b_l2_fetches=b_l2_fetches,
+        b_reuse_hits=b_reuse_hits,
+        c_writebacks=c_writebacks,
+        c_spills=c_spills,
+    )

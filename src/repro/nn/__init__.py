@@ -1,0 +1,70 @@
+"""NumPy DNN substrate: modules, layers, models, training, synthetic data."""
+
+from . import functional, models
+from .attention import MultiHeadSelfAttention
+from .blocks import BasicBlock, BottleneckBlock, ConvNeXtBlock, TransformerEncoderBlock
+from .data import Dataset, synthetic_images, synthetic_tokens
+from .im2col import GemmShape, col2im, conv_gemm_shape, conv_out_size, im2col
+from .layers import (
+    Activation,
+    BatchNorm2d,
+    Conv2d,
+    DepthwiseConv2d,
+    Dropout,
+    Embedding,
+    Flatten,
+    GlobalAvgPool2d,
+    LayerNorm,
+    Linear,
+    MaxPool2d,
+)
+from .module import Identity, Module, Parameter, Sequential
+from .train import (
+    Adam,
+    SGD,
+    TrainResult,
+    cross_entropy,
+    evaluate_accuracy,
+    predict_logits,
+    train_classifier,
+)
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Sequential",
+    "Identity",
+    "Linear",
+    "Conv2d",
+    "DepthwiseConv2d",
+    "BatchNorm2d",
+    "LayerNorm",
+    "Activation",
+    "MaxPool2d",
+    "GlobalAvgPool2d",
+    "Flatten",
+    "Dropout",
+    "Embedding",
+    "MultiHeadSelfAttention",
+    "BasicBlock",
+    "BottleneckBlock",
+    "TransformerEncoderBlock",
+    "ConvNeXtBlock",
+    "GemmShape",
+    "conv_gemm_shape",
+    "conv_out_size",
+    "im2col",
+    "col2im",
+    "cross_entropy",
+    "SGD",
+    "Adam",
+    "TrainResult",
+    "train_classifier",
+    "evaluate_accuracy",
+    "predict_logits",
+    "Dataset",
+    "synthetic_images",
+    "synthetic_tokens",
+    "functional",
+    "models",
+]

@@ -1,0 +1,68 @@
+"""Multi-head self-attention with explicit backward (BERT / ViT substrate).
+
+The QKV and output projections are :class:`repro.nn.layers.Linear` layers —
+i.e. FC layers in the paper's taxonomy.  TASDER leaves them dense by default
+(Section 4.3 found only the MLP FCs tolerate TASD well) but the transform
+can target them when asked.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .functional import softmax
+from .layers import Linear
+from .module import Module
+
+__all__ = ["MultiHeadSelfAttention"]
+
+
+class MultiHeadSelfAttention(Module):
+    """Standard scaled-dot-product multi-head self-attention over (B, T, D)."""
+
+    def __init__(self, dim: int, num_heads: int, rng=None) -> None:
+        super().__init__()
+        if dim % num_heads:
+            raise ValueError(f"dim {dim} not divisible by num_heads {num_heads}")
+        rng = rng or np.random.default_rng(0)
+        self.dim = dim
+        self.num_heads = num_heads
+        self.head_dim = dim // num_heads
+        self.qkv = Linear(dim, 3 * dim, rng=rng)
+        self.proj = Linear(dim, dim, rng=rng)
+        self._cache: tuple | None = None
+
+    def _split(self, x: np.ndarray) -> np.ndarray:
+        b, t, _ = x.shape
+        return x.reshape(b, t, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+    def _merge(self, x: np.ndarray) -> np.ndarray:
+        b, h, t, d = x.shape
+        return x.transpose(0, 2, 1, 3).reshape(b, t, h * d)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        b, t, _ = x.shape
+        qkv = self.qkv(x)  # (b, t, 3*dim)
+        q, k, v = np.split(qkv, 3, axis=-1)
+        q, k, v = self._split(q), self._split(k), self._split(v)  # (b, h, t, hd)
+        scale = 1.0 / np.sqrt(self.head_dim)
+        scores = np.einsum("bhqd,bhkd->bhqk", q, k, optimize=True) * scale
+        attn = softmax(scores, axis=-1)
+        ctx = np.einsum("bhqk,bhkd->bhqd", attn, v, optimize=True)
+        self._cache = (q, k, v, attn, scale)
+        return self.proj(self._merge(ctx))
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        q, k, v, attn, scale = self._cache
+        d_ctx = self._split(self.proj.backward(grad))  # (b, h, t, hd)
+        d_attn = np.einsum("bhqd,bhkd->bhqk", d_ctx, v, optimize=True)
+        d_v = np.einsum("bhqk,bhqd->bhkd", attn, d_ctx, optimize=True)
+        # Softmax backward: dS = attn * (d_attn - Σ_k attn*d_attn)
+        inner = (attn * d_attn).sum(axis=-1, keepdims=True)
+        d_scores = attn * (d_attn - inner) * scale
+        d_q = np.einsum("bhqk,bhkd->bhqd", d_scores, k, optimize=True)
+        d_k = np.einsum("bhqk,bhqd->bhkd", d_scores, q, optimize=True)
+        d_qkv = np.concatenate(
+            [self._merge(d_q), self._merge(d_k), self._merge(d_v)], axis=-1
+        )
+        return self.qkv.backward(d_qkv)

@@ -1,0 +1,26 @@
+"""Model zoo: the architectures the paper evaluates, width-scaled."""
+
+from .bert import BertEncoder, bert_mini
+from .convnext import ConvNeXt, convnext_tiny
+from .mlp import MLP
+from .resnet import ResNet, resnet18, resnet34, resnet50, resnet101
+from .vgg import VGG, vgg11, vgg16
+from .vit import VisionTransformer, vit_tiny
+
+__all__ = [
+    "ResNet",
+    "resnet18",
+    "resnet34",
+    "resnet50",
+    "resnet101",
+    "VGG",
+    "vgg11",
+    "vgg16",
+    "BertEncoder",
+    "bert_mini",
+    "VisionTransformer",
+    "vit_tiny",
+    "ConvNeXt",
+    "convnext_tiny",
+    "MLP",
+]

@@ -1,0 +1,69 @@
+"""BERT-style transformer encoder for sequence classification.
+
+The paper's transformer workload.  GELU activations make it the showcase
+for TASD-A's pseudo-density heuristic (Section 4.3): activations are dense
+but magnitude-skewed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..blocks import TransformerEncoderBlock
+from ..layers import Embedding, LayerNorm, Linear
+from ..module import Module, Parameter
+
+__all__ = ["BertEncoder", "bert_mini"]
+
+
+class BertEncoder(Module):
+    """Token + position embeddings, N encoder blocks, mean-pool classifier."""
+
+    def __init__(
+        self,
+        vocab_size: int = 64,
+        dim: int = 32,
+        num_layers: int = 4,
+        num_heads: int = 4,
+        seq_len: int = 16,
+        num_classes: int = 4,
+        activation: str = "gelu",
+        rng=None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.seq_len = seq_len
+        self.dim = dim
+        self.tok = Embedding(vocab_size, dim, rng=rng)
+        self.pos = Parameter(rng.normal(0.0, 0.02, size=(seq_len, dim)), "pos")
+        self.blocks = [
+            TransformerEncoderBlock(dim, num_heads, activation=activation, rng=rng)
+            for _ in range(num_layers)
+        ]
+        self.norm = LayerNorm(dim)
+        self.head = Linear(dim, num_classes, rng=rng)
+        self._tokens: int | None = None
+
+    def forward(self, ids: np.ndarray) -> np.ndarray:
+        if ids.shape[1] != self.seq_len:
+            raise ValueError(f"expected sequence length {self.seq_len}, got {ids.shape[1]}")
+        x = self.tok(ids) + self.pos.data
+        for block in self.blocks:
+            x = block(x)
+        x = self.norm(x)
+        self._tokens = x.shape[1]
+        return self.head(x.mean(axis=1))
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        g = self.head.backward(grad)
+        g = np.broadcast_to(g[:, None, :], (g.shape[0], self._tokens, g.shape[1])) / self._tokens
+        g = self.norm.backward(np.ascontiguousarray(g))
+        for block in reversed(self.blocks):
+            g = block.backward(g)
+        self.pos.grad += g.sum(axis=0)
+        return self.tok.backward(g)
+
+
+def bert_mini(**kwargs) -> BertEncoder:
+    """The default scaled-down BERT used in training experiments."""
+    return BertEncoder(**kwargs)

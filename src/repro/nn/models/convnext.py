@@ -1,0 +1,72 @@
+"""ConvNeXt (Liu et al., 2022a) — a GELU CNN for Fig. 20's TASD-A zoo."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..blocks import ConvNeXtBlock
+from ..layers import Conv2d, GlobalAvgPool2d, LayerNorm, Linear
+from ..module import Module, Sequential
+
+__all__ = ["ConvNeXt", "convnext_tiny"]
+
+
+class _ChannelsLastLayerNorm(Module):
+    """LayerNorm applied across channels of an NCHW tensor."""
+
+    def __init__(self, channels: int) -> None:
+        super().__init__()
+        self.norm = LayerNorm(channels)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return self.norm(x.transpose(0, 2, 3, 1)).transpose(0, 3, 1, 2)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        return self.norm.backward(grad.transpose(0, 2, 3, 1)).transpose(0, 3, 1, 2)
+
+
+class ConvNeXt(Module):
+    """ConvNeXt-Tiny topology ([3,3,9,3] blocks), width-scaled.
+
+    The patchify stem and downsample layers are strided convs; block MLPs
+    are channels-last Linears (TFC targets for TASD-A).
+    """
+
+    def __init__(
+        self,
+        num_classes: int = 10,
+        base_width: int = 16,
+        depths: tuple[int, ...] = (3, 3, 9, 3),
+        in_channels: int = 3,
+        patch: int = 2,
+        rng=None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        widths = [base_width * (2**i) for i in range(len(depths))]
+        self.stem = Sequential(
+            Conv2d(in_channels, widths[0], patch, patch, 0, rng=rng),
+            _ChannelsLastLayerNorm(widths[0]),
+        )
+        stages: list[Module] = []
+        for i, depth in enumerate(depths):
+            if i > 0:
+                stages.append(_ChannelsLastLayerNorm(widths[i - 1]))
+                stages.append(Conv2d(widths[i - 1], widths[i], 2, 2, 0, rng=rng))
+            for _ in range(depth):
+                stages.append(ConvNeXtBlock(widths[i], rng=rng))
+        self.stages = Sequential(*stages)
+        self.pool = GlobalAvgPool2d()
+        self.norm = LayerNorm(widths[-1])
+        self.head = Linear(widths[-1], num_classes, rng=rng)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return self.head(self.norm(self.pool(self.stages(self.stem(x)))))
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        g = self.pool.backward(self.norm.backward(self.head.backward(grad)))
+        return self.stem.backward(self.stages.backward(g))
+
+
+def convnext_tiny(**kwargs) -> ConvNeXt:
+    return ConvNeXt(**kwargs)

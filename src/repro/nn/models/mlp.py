@@ -1,0 +1,39 @@
+"""Small MLP — fast substrate for unit tests and search-algorithm checks."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..layers import Activation, Linear
+from ..module import Module, Sequential
+
+__all__ = ["MLP"]
+
+
+class MLP(Module):
+    """Plain feed-forward classifier over flat feature vectors."""
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden: tuple[int, ...] = (64, 64),
+        num_classes: int = 10,
+        activation: str = "relu",
+        rng=None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        layers: list[Module] = []
+        prev = in_features
+        for width in hidden:
+            layers.append(Linear(prev, width, rng=rng))
+            layers.append(Activation(activation))
+            prev = width
+        layers.append(Linear(prev, num_classes, rng=rng))
+        self.net = Sequential(*layers)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return self.net(x)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        return self.net.backward(grad)

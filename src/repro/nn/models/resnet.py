@@ -1,0 +1,84 @@
+"""ResNet family (He et al., 2016) — the paper's main CNN workload.
+
+Depth/topology matches the original family (18/34 use BasicBlock,
+50/101 use BottleneckBlock with the same stage layout); width and input
+size are scaled down so the NumPy substrate can train them, per the
+substitution note in DESIGN.md.  Full-size GEMM shapes for the hardware
+model come from :mod:`repro.workloads`, not from these instances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..blocks import BasicBlock, BottleneckBlock
+from ..layers import Activation, BatchNorm2d, Conv2d, GlobalAvgPool2d, Linear
+from ..module import Module, Sequential
+
+__all__ = ["ResNet", "resnet18", "resnet34", "resnet50", "resnet101"]
+
+_STAGES = {
+    18: ([2, 2, 2, 2], BasicBlock),
+    34: ([3, 4, 6, 3], BasicBlock),
+    50: ([3, 4, 6, 3], BottleneckBlock),
+    101: ([3, 4, 23, 3], BottleneckBlock),
+}
+
+
+class ResNet(Module):
+    """A width-scaled ResNet over small inputs (CIFAR-style 3x3 stem)."""
+
+    def __init__(
+        self,
+        depth: int = 18,
+        num_classes: int = 10,
+        base_width: int = 16,
+        in_channels: int = 3,
+        rng=None,
+    ) -> None:
+        super().__init__()
+        if depth not in _STAGES:
+            raise ValueError(f"unsupported depth {depth}; options: {sorted(_STAGES)}")
+        rng = rng or np.random.default_rng(0)
+        stage_blocks, block_cls = _STAGES[depth]
+        self.depth = depth
+        self.stem = Sequential(
+            Conv2d(in_channels, base_width, 3, 1, 1, bias=False, rng=rng),
+            BatchNorm2d(base_width),
+            Activation("relu"),
+        )
+        layers: list[Module] = []
+        in_ch = base_width
+        width = base_width
+        for stage_idx, n_blocks in enumerate(stage_blocks):
+            stride = 1 if stage_idx == 0 else 2
+            for block_idx in range(n_blocks):
+                block = block_cls(in_ch, width, stride if block_idx == 0 else 1, rng=rng)
+                layers.append(block)
+                in_ch = width * block_cls.expansion
+            width *= 2
+        self.body = Sequential(*layers)
+        self.pool = GlobalAvgPool2d()
+        self.head = Linear(in_ch, num_classes, rng=rng)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return self.head(self.pool(self.body(self.stem(x))))
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        return self.stem.backward(self.body.backward(self.pool.backward(self.head.backward(grad))))
+
+
+def resnet18(**kwargs) -> ResNet:
+    return ResNet(depth=18, **kwargs)
+
+
+def resnet34(**kwargs) -> ResNet:
+    return ResNet(depth=34, **kwargs)
+
+
+def resnet50(**kwargs) -> ResNet:
+    return ResNet(depth=50, **kwargs)
+
+
+def resnet101(**kwargs) -> ResNet:
+    return ResNet(depth=101, **kwargs)

@@ -1,0 +1,63 @@
+"""VGG family (Fig. 20 workloads), width-scaled for the NumPy substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..layers import Activation, BatchNorm2d, Conv2d, Flatten, GlobalAvgPool2d, Linear, MaxPool2d
+from ..module import Module, Sequential
+
+__all__ = ["VGG", "vgg11", "vgg16"]
+
+# Channel multipliers per stage; "M" marks max-pool, numbers are conv widths
+# relative to base_width (the canonical 64/128/256/512 plan divided by 64).
+_PLANS = {
+    11: [1, "M", 2, "M", 4, 4, "M", 8, 8, "M", 8, 8, "M"],
+    16: [1, 1, "M", 2, 2, "M", 4, 4, 4, "M", 8, 8, 8, "M", 8, 8, 8, "M"],
+}
+
+
+class VGG(Module):
+    """VGG-11/16 with batch norm and a single linear classifier head."""
+
+    def __init__(
+        self,
+        depth: int = 11,
+        num_classes: int = 10,
+        base_width: int = 16,
+        in_channels: int = 3,
+        rng=None,
+    ) -> None:
+        super().__init__()
+        if depth not in _PLANS:
+            raise ValueError(f"unsupported depth {depth}; options: {sorted(_PLANS)}")
+        rng = rng or np.random.default_rng(0)
+        self.depth = depth
+        layers: list[Module] = []
+        in_ch = in_channels
+        for item in _PLANS[depth]:
+            if item == "M":
+                layers.append(MaxPool2d(2))
+            else:
+                out_ch = int(item) * base_width
+                layers.append(Conv2d(in_ch, out_ch, 3, 1, 1, bias=False, rng=rng))
+                layers.append(BatchNorm2d(out_ch))
+                layers.append(Activation("relu"))
+                in_ch = out_ch
+        self.features = Sequential(*layers)
+        self.pool = GlobalAvgPool2d()
+        self.head = Linear(in_ch, num_classes, rng=rng)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return self.head(self.pool(self.features(x)))
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        return self.features.backward(self.pool.backward(self.head.backward(grad)))
+
+
+def vgg11(**kwargs) -> VGG:
+    return VGG(depth=11, **kwargs)
+
+
+def vgg16(**kwargs) -> VGG:
+    return VGG(depth=16, **kwargs)

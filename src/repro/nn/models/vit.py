@@ -1,0 +1,78 @@
+"""Vision Transformer (ViT-B/16 topology, width-scaled) for Fig. 20's zoo."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..blocks import TransformerEncoderBlock
+from ..layers import LayerNorm, Linear
+from ..module import Module, Parameter
+
+__all__ = ["VisionTransformer", "vit_tiny"]
+
+
+class VisionTransformer(Module):
+    """Patchify via a linear projection, encoder stack, mean-pool classifier."""
+
+    def __init__(
+        self,
+        image_size: int = 16,
+        patch_size: int = 4,
+        dim: int = 32,
+        num_layers: int = 4,
+        num_heads: int = 4,
+        num_classes: int = 10,
+        in_channels: int = 3,
+        rng=None,
+    ) -> None:
+        super().__init__()
+        if image_size % patch_size:
+            raise ValueError(f"image size {image_size} not divisible by patch {patch_size}")
+        rng = rng or np.random.default_rng(0)
+        self.patch_size = patch_size
+        self.grid = image_size // patch_size
+        self.num_patches = self.grid * self.grid
+        self.patch_dim = in_channels * patch_size * patch_size
+        self.embed = Linear(self.patch_dim, dim, rng=rng)
+        self.pos = Parameter(rng.normal(0.0, 0.02, size=(self.num_patches, dim)), "pos")
+        self.blocks = [
+            TransformerEncoderBlock(dim, num_heads, activation="gelu", rng=rng)
+            for _ in range(num_layers)
+        ]
+        self.norm = LayerNorm(dim)
+        self.head = Linear(dim, num_classes, rng=rng)
+        self._img_shape: tuple | None = None
+
+    def _patchify(self, x: np.ndarray) -> np.ndarray:
+        b, c, h, w = x.shape
+        p = self.patch_size
+        g = self.grid
+        patches = x.reshape(b, c, g, p, g, p).transpose(0, 2, 4, 1, 3, 5)
+        return patches.reshape(b, g * g, c * p * p)
+
+    def _unpatchify(self, grad: np.ndarray) -> np.ndarray:
+        b, c, h, w = self._img_shape
+        p, g = self.patch_size, self.grid
+        grad = grad.reshape(b, g, g, c, p, p).transpose(0, 3, 1, 4, 2, 5)
+        return grad.reshape(b, c, h, w)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._img_shape = x.shape
+        tokens = self.embed(self._patchify(x)) + self.pos.data
+        for block in self.blocks:
+            tokens = block(tokens)
+        tokens = self.norm(tokens)
+        return self.head(tokens.mean(axis=1))
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        g = self.head.backward(grad)
+        g = np.broadcast_to(g[:, None, :], (g.shape[0], self.num_patches, g.shape[1]))
+        g = self.norm.backward(np.ascontiguousarray(g) / self.num_patches)
+        for block in reversed(self.blocks):
+            g = block.backward(g)
+        self.pos.grad += g.sum(axis=0)
+        return self._unpatchify(self.embed.backward(g))
+
+
+def vit_tiny(**kwargs) -> VisionTransformer:
+    return VisionTransformer(**kwargs)

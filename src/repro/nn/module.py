@@ -1,0 +1,244 @@
+"""Minimal NumPy module system with explicit forward/backward.
+
+The paper's experiments need real trained networks (accuracy is part of the
+TASDER acceptance criterion), and the offline environment has no deep
+learning framework — so this package implements one: modules cache whatever
+forward state their backward pass needs, ``backward(grad)`` returns the
+gradient w.r.t. the input and accumulates parameter gradients in
+``Parameter.grad``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+import numpy as np
+
+__all__ = ["Parameter", "Module", "Sequential", "Identity"]
+
+
+class Parameter:
+    """A trainable tensor with an accumulated gradient."""
+
+    def __init__(self, data: np.ndarray, name: str = "") -> None:
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad = np.zeros_like(self.data)
+        self.name = name
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def zero_grad(self) -> None:
+        self.grad[...] = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Parameter({self.name or 'unnamed'}, shape={self.data.shape})"
+
+
+class Module:
+    """Base class for layers and models.
+
+    Subclasses implement :meth:`forward` (caching what backward needs on
+    ``self``) and :meth:`backward`.  Parameters and submodules are discovered
+    by attribute scan, in definition order, like the frameworks this mirrors.
+    """
+
+    def __init__(self) -> None:
+        self.training = True
+
+    # ------------------------------------------------------------------ #
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        out = self.forward(x)
+        for hook in getattr(self, "_forward_hooks", ()):
+            hook(self, x, out)
+        return out
+
+    def register_forward_hook(self, fn) -> None:
+        """Register ``fn(module, input, output)`` to run after every forward.
+
+        Used by TASDER's calibration pass to observe activation statistics
+        without modifying layer code.
+        """
+        if not hasattr(self, "_forward_hooks"):
+            self._forward_hooks: list = []
+        self._forward_hooks.append(fn)
+
+    def clear_forward_hooks(self) -> None:
+        self._forward_hooks = []
+
+    # ------------------------------------------------------------------ #
+    def children(self) -> Iterator["Module"]:
+        for value in self.__dict__.values():
+            if isinstance(value, Module):
+                yield value
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        yield item
+
+    def modules(self) -> Iterator["Module"]:
+        """Depth-first iterator over this module and all descendants."""
+        yield self
+        for child in self.children():
+            yield from child.modules()
+
+    def named_modules(self, prefix: str = "") -> Iterator[tuple[str, "Module"]]:
+        yield prefix or type(self).__name__.lower(), self
+        for attr, value in self.__dict__.items():
+            entries: list[tuple[str, Module]] = []
+            if isinstance(value, Module):
+                entries.append((attr, value))
+            elif isinstance(value, (list, tuple)):
+                entries.extend(
+                    (f"{attr}.{i}", item)
+                    for i, item in enumerate(value)
+                    if isinstance(item, Module)
+                )
+            for name, child in entries:
+                child_prefix = f"{prefix}.{name}" if prefix else name
+                yield from child.named_modules(child_prefix)
+
+    def parameters(self) -> Iterator[Parameter]:
+        for value in self.__dict__.values():
+            if isinstance(value, Parameter):
+                yield value
+            elif isinstance(value, Module):
+                yield from value.parameters()
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        yield from item.parameters()
+                    elif isinstance(item, Parameter):
+                        yield item
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        for attr, value in self.__dict__.items():
+            path = f"{prefix}.{attr}" if prefix else attr
+            if isinstance(value, Parameter):
+                yield path, value
+            elif isinstance(value, Module):
+                yield from value.named_parameters(path)
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Module):
+                        yield from item.named_parameters(f"{path}.{i}")
+
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    # ------------------------------------------------------------------ #
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    def train(self) -> "Module":
+        for m in self.modules():
+            m.training = True
+        return self
+
+    def eval(self) -> "Module":
+        for m in self.modules():
+            m.training = False
+        return self
+
+    def apply(self, fn: Callable[["Module"], None]) -> "Module":
+        for m in self.modules():
+            fn(m)
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Buffers: non-trainable state that must persist with the weights
+    # (BatchNorm running statistics).  Subclasses list attribute names in
+    # ``buffer_names``; state_dict round-trips them alongside parameters.
+    buffer_names: tuple[str, ...] = ()
+
+    def named_buffers(self, prefix: str = "") -> Iterator[tuple[str, np.ndarray]]:
+        for attr in self.buffer_names:
+            path = f"{prefix}.{attr}" if prefix else attr
+            yield path, getattr(self, attr)
+        for attr, value in self.__dict__.items():
+            path = f"{prefix}.{attr}" if prefix else attr
+            if isinstance(value, Module):
+                yield from value.named_buffers(path)
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Module):
+                        yield from item.named_buffers(f"{path}.{i}")
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        state = {name: p.data.copy() for name, p in self.named_parameters()}
+        for name, buf in self.named_buffers():
+            state[f"buffer::{name}"] = np.array(buf, copy=True)
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        own_params = dict(self.named_parameters())
+        own_buffers = {f"buffer::{name}": name for name, _ in self.named_buffers()}
+        missing = (set(own_params) | set(own_buffers)) - set(state)
+        extra = set(state) - set(own_params) - set(own_buffers)
+        if missing or extra:
+            raise KeyError(f"state mismatch: missing={sorted(missing)} extra={sorted(extra)}")
+        for name, p in own_params.items():
+            if p.data.shape != state[name].shape:
+                raise ValueError(f"shape mismatch for {name}: {p.data.shape} vs {state[name].shape}")
+            p.data[...] = state[name]
+        for key, name in own_buffers.items():
+            self._assign_buffer(name, state[key])
+
+    def _assign_buffer(self, dotted_name: str, value: np.ndarray) -> None:
+        target: Module = self
+        parts = dotted_name.split(".")
+        for part in parts[:-1]:
+            if part.isdigit():
+                target = target[int(part)] if hasattr(target, "__getitem__") else getattr(target, part)
+            else:
+                target = getattr(target, part)
+        getattr(target, parts[-1])[...] = value
+
+
+class Sequential(Module):
+    """Chain of modules executed in order; backward runs in reverse."""
+
+    def __init__(self, *layers: Module) -> None:
+        super().__init__()
+        self.layers = list(layers)
+
+    def append(self, layer: Module) -> None:
+        self.layers.append(layer)
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __getitem__(self, idx: int) -> Module:
+        return self.layers[idx]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+
+class Identity(Module):
+    """Pass-through module (useful as a default skip/projection)."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return x
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        return grad

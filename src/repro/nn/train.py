@@ -1,0 +1,167 @@
+"""Training substrate: loss, optimizers, training loop, evaluation.
+
+The paper's acceptance criterion — a TASD-transformed model must keep
+>= 99 % of the original model's accuracy (MLPerf-style, Section 5.1) — only
+means something against genuinely trained models, so this module provides
+the training loop the experiments use to produce them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .functional import log_softmax, softmax
+from .module import Module, Parameter
+
+__all__ = [
+    "cross_entropy",
+    "SGD",
+    "Adam",
+    "iterate_minibatches",
+    "TrainResult",
+    "train_classifier",
+    "evaluate_accuracy",
+    "predict_logits",
+]
+
+
+def cross_entropy(logits: np.ndarray, labels: np.ndarray) -> tuple[float, np.ndarray]:
+    """Mean cross-entropy loss and its gradient w.r.t. the logits."""
+    n = logits.shape[0]
+    logp = log_softmax(logits, axis=-1)
+    loss = -float(logp[np.arange(n), labels].mean())
+    grad = softmax(logits, axis=-1)
+    grad[np.arange(n), labels] -= 1.0
+    return loss, grad / n
+
+
+class SGD:
+    """SGD with momentum and optional weight decay."""
+
+    def __init__(
+        self, params: list[Parameter] | Module, lr: float = 0.1,
+        momentum: float = 0.9, weight_decay: float = 0.0,
+    ) -> None:
+        self.params = list(params.parameters()) if isinstance(params, Module) else list(params)
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        for p, v in zip(self.params, self._velocity):
+            g = p.grad
+            if self.weight_decay:
+                g = g + self.weight_decay * p.data
+            v *= self.momentum
+            v += g
+            p.data -= self.lr * v
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+
+class Adam:
+    """Adam optimizer (Kingma & Ba) with bias correction."""
+
+    def __init__(
+        self, params: list[Parameter] | Module, lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999), eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        self.params = list(params.parameters()) if isinstance(params, Module) else list(params)
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        b1t = 1.0 - self.beta1**self._t
+        b2t = 1.0 - self.beta2**self._t
+        for p, m, v in zip(self.params, self._m, self._v):
+            g = p.grad
+            if self.weight_decay:
+                g = g + self.weight_decay * p.data
+            m *= self.beta1
+            m += (1.0 - self.beta1) * g
+            v *= self.beta2
+            v += (1.0 - self.beta2) * g * g
+            p.data -= self.lr * (m / b1t) / (np.sqrt(v / b2t) + self.eps)
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+
+def iterate_minibatches(
+    x: np.ndarray, y: np.ndarray, batch_size: int, rng: np.random.Generator
+):
+    """Shuffled minibatch iterator over one epoch."""
+    order = rng.permutation(len(x))
+    for start in range(0, len(x), batch_size):
+        idx = order[start : start + batch_size]
+        yield x[idx], y[idx]
+
+
+@dataclass
+class TrainResult:
+    """Loss/accuracy trajectory of one training run."""
+
+    losses: list[float] = field(default_factory=list)
+    train_accuracy: float = 0.0
+    epochs: int = 0
+
+
+def train_classifier(
+    model: Module,
+    x: np.ndarray,
+    y: np.ndarray,
+    epochs: int = 5,
+    batch_size: int = 32,
+    optimizer=None,
+    seed: int = 0,
+    mask_fn=None,
+) -> TrainResult:
+    """Train ``model`` on ``(x, y)`` with cross-entropy.
+
+    ``mask_fn(model)`` — if given — runs after every optimizer step; the
+    pruning module uses it to keep pruned weights at exactly zero during
+    fine-tuning (the standard sparse fine-tuning recipe).
+    """
+    rng = np.random.default_rng(seed)
+    opt = optimizer or SGD(model, lr=0.05)
+    result = TrainResult()
+    model.train()
+    for _ in range(epochs):
+        for xb, yb in iterate_minibatches(x, y, batch_size, rng):
+            opt.zero_grad()
+            logits = model(xb)
+            loss, dlogits = cross_entropy(logits, yb)
+            model.backward(dlogits)
+            opt.step()
+            if mask_fn is not None:
+                mask_fn(model)
+            result.losses.append(loss)
+        result.epochs += 1
+    result.train_accuracy = evaluate_accuracy(model, x, y)
+    return result
+
+
+def predict_logits(model: Module, x: np.ndarray, batch_size: int = 128) -> np.ndarray:
+    """Batched eval-mode forward pass."""
+    model.eval()
+    outs = [model(x[i : i + batch_size]) for i in range(0, len(x), batch_size)]
+    return np.concatenate(outs, axis=0)
+
+
+def evaluate_accuracy(model: Module, x: np.ndarray, y: np.ndarray, batch_size: int = 128) -> float:
+    """Top-1 accuracy in eval mode."""
+    preds = predict_logits(model, x, batch_size).argmax(axis=-1)
+    return float((preds == y).mean())

@@ -1,0 +1,39 @@
+"""Sparsity induction: unstructured magnitude pruning, N:M pruning, profiles."""
+
+from .magnitude import (
+    SparsityReport,
+    apply_masks,
+    global_magnitude_prune,
+    layerwise_magnitude_prune,
+    magnitude_mask,
+    make_mask_fn,
+    prune_and_finetune,
+    sparsity_report,
+)
+from .profiles import (
+    activation_sparsity_profile,
+    gelu_pseudo_density_profile,
+    weight_sparsity_profile,
+)
+from .structured import is_nm_pruned, nm_prune, nm_prune_and_finetune
+from .targets import classifier_head_names, gemm_layers, prunable_weights
+
+__all__ = [
+    "magnitude_mask",
+    "global_magnitude_prune",
+    "layerwise_magnitude_prune",
+    "apply_masks",
+    "make_mask_fn",
+    "prune_and_finetune",
+    "sparsity_report",
+    "SparsityReport",
+    "nm_prune",
+    "nm_prune_and_finetune",
+    "is_nm_pruned",
+    "gemm_layers",
+    "prunable_weights",
+    "classifier_head_names",
+    "weight_sparsity_profile",
+    "activation_sparsity_profile",
+    "gelu_pseudo_density_profile",
+]

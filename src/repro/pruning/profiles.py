@@ -1,0 +1,72 @@
+"""SparseZoo-like per-layer sparsity profiles (Fig. 6's shape).
+
+The hardware experiments need per-layer weight/activation densities for
+*full-size* models without instantiating full-size weights.  These profile
+generators reproduce the characteristic shape of Fig. 6: weight sparsity
+ramps up quickly from a denser first layer to ≈95-98 % for the large
+mid/late layers, while activation sparsity oscillates in the 40-80 % band
+with depth-dependent drift.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "weight_sparsity_profile",
+    "activation_sparsity_profile",
+    "gelu_pseudo_density_profile",
+]
+
+
+def weight_sparsity_profile(
+    num_layers: int, overall: float = 0.95, first_layer: float = 0.60, seed: int = 0
+) -> np.ndarray:
+    """Per-layer weight sparsity for a globally pruned model.
+
+    Saturating ramp from ``first_layer`` toward slightly above ``overall``
+    (large late layers dominate the global budget so they exceed the mean),
+    plus small deterministic jitter.  The parameter-weighted mean is close
+    to ``overall`` for typical depth distributions.
+    """
+    if num_layers < 1:
+        raise ValueError("num_layers must be >= 1")
+    rng = np.random.default_rng(seed)
+    depth = np.linspace(0.0, 1.0, num_layers)
+    ceiling = min(0.995, overall + 0.03)
+    ramp = first_layer + (ceiling - first_layer) * (1.0 - np.exp(-4.0 * depth))
+    jitter = rng.normal(0.0, 0.01, size=num_layers)
+    return np.clip(ramp + jitter, 0.0, 0.995)
+
+
+def activation_sparsity_profile(
+    num_layers: int, base: float = 0.55, amplitude: float = 0.15, seed: int = 1
+) -> np.ndarray:
+    """Per-layer ReLU activation sparsity (Fig. 6's lower series).
+
+    Oscillates around ``base`` — ResNet blocks alternate between high-
+    sparsity post-ReLU maps and denser post-add maps — with mild growth in
+    later layers, matching the measured pattern.
+    """
+    rng = np.random.default_rng(seed)
+    depth = np.linspace(0.0, 1.0, num_layers)
+    wave = amplitude * np.sin(np.pi * 3.0 * depth)
+    drift = 0.10 * depth
+    jitter = rng.normal(0.0, 0.03, size=num_layers)
+    return np.clip(base + wave + drift + jitter, 0.05, 0.95)
+
+
+def gelu_pseudo_density_profile(
+    num_layers: int, base: float = 0.38, seed: int = 2
+) -> np.ndarray:
+    """Per-layer pseudo-density (99 % magnitude share) for GELU networks.
+
+    GELU activations are dense but magnitude-skewed; measured pseudo-density
+    for transformer MLP inputs sits in the 0.3-0.6 band.  Used where the
+    full-size workload suite needs TASD-A selection statistics.
+    """
+    rng = np.random.default_rng(seed)
+    depth = np.linspace(0.0, 1.0, num_layers)
+    drift = 0.10 * np.cos(np.pi * 2.0 * depth)
+    jitter = rng.normal(0.0, 0.03, size=num_layers)
+    return np.clip(base + drift + jitter, 0.15, 0.9)

@@ -1,0 +1,76 @@
+"""Hardware-aware structured N:M pruning (the fine-tuned baseline of Fig. 19).
+
+This is the flow the paper argues *against* requiring: pruning directly to
+the accelerator's pattern, then fine-tuning to recover.  It exists here as
+the comparison point — a structured-pruned model runs natively (losslessly)
+on matching structured hardware without TASD.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.patterns import NMPattern, pattern_mask
+from repro.nn.module import Module
+from repro.nn.train import Adam, TrainResult, train_classifier
+
+from .magnitude import make_mask_fn
+from .targets import gemm_layers
+
+__all__ = ["nm_prune", "nm_prune_and_finetune", "is_nm_pruned"]
+
+
+def nm_prune(
+    model: Module, pattern: NMPattern, include_head: bool = False
+) -> dict[str, np.ndarray]:
+    """Prune every GEMM layer to ``pattern`` along the reduction axis.
+
+    Keeps the N largest-magnitude weights per M-block of the layer's
+    ``weight_matrix()`` rows (the K axis that N:M hardware blocks), zeroing
+    the rest in place.  Reduction dims not divisible by M keep their ragged
+    tail dense (hardware handles tails as dense blocks).
+    """
+    masks: dict[str, np.ndarray] = {}
+    for name, layer in gemm_layers(model, include_head):
+        w = layer.weight_matrix()
+        k = w.shape[-1]
+        usable = (k // pattern.m) * pattern.m
+        mask = np.ones_like(w, dtype=bool)
+        if usable:
+            mask[:, :usable] = pattern_mask(w[:, :usable], pattern, axis=-1)
+        layer.weight.data *= mask.reshape(layer.weight.data.shape)
+        masks[name] = mask.reshape(layer.weight.data.shape)
+    return masks
+
+
+def nm_prune_and_finetune(
+    model: Module,
+    x: np.ndarray,
+    y: np.ndarray,
+    pattern: NMPattern,
+    finetune_epochs: int = 3,
+    lr: float = 1e-3,
+    seed: int = 0,
+) -> tuple[dict[str, np.ndarray], TrainResult]:
+    """Structured prune then fine-tune with the N:M mask held fixed."""
+    masks = nm_prune(model, pattern)
+    result = train_classifier(
+        model, x, y,
+        epochs=finetune_epochs,
+        optimizer=Adam(model, lr=lr),
+        seed=seed,
+        mask_fn=make_mask_fn(masks),
+    )
+    return masks, result
+
+
+def is_nm_pruned(model: Module, pattern: NMPattern, include_head: bool = False) -> bool:
+    """True when every GEMM layer satisfies ``pattern`` (ragged tails ignored)."""
+    from repro.core.patterns import is_pattern_legal
+
+    for _, layer in gemm_layers(model, include_head):
+        w = layer.weight_matrix()
+        usable = (w.shape[-1] // pattern.m) * pattern.m
+        if usable and not is_pattern_legal(w[:, :usable], pattern, axis=-1):
+            return False
+    return True

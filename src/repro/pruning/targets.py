@@ -1,0 +1,48 @@
+"""Discovery of prunable / TASD-able layers in a model.
+
+The paper applies TASD only to CONV and FC layers (Section 4.1): they
+dominate compute and lower to GEMM.  Depthwise convolutions and embeddings
+are excluded, as are classifier heads by default (pruning them is
+disproportionately damaging — standard practice the paper's SparseZoo
+models follow too).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Conv2d, Linear, _GemmLayer
+from repro.nn.module import Module
+
+__all__ = ["gemm_layers", "prunable_weights", "classifier_head_names"]
+
+
+def gemm_layers(
+    model: Module, include_head: bool = False
+) -> list[tuple[str, _GemmLayer]]:
+    """All (name, layer) GEMM layers of ``model`` in forward order.
+
+    ``include_head=False`` drops the final classifier Linear (matching how
+    the paper's pretrained sparse models keep heads dense).
+    """
+    layers = [
+        (name, mod)
+        for name, mod in model.named_modules()
+        if isinstance(mod, (Linear, Conv2d))
+    ]
+    if not include_head and layers and isinstance(layers[-1][1], Linear):
+        # The trailing Linear of a classifier is its head; every model in the
+        # zoo ends with one, and pruning/decomposing it is disproportionately
+        # damaging (SparseZoo models keep heads dense too).
+        layers = layers[:-1]
+    return layers
+
+
+def classifier_head_names() -> frozenset[str]:
+    """Attribute names treated as classifier heads across the model zoo."""
+    return frozenset({"head", "classifier", "fc"})
+
+
+def prunable_weights(model: Module, include_head: bool = False) -> list[tuple[str, np.ndarray]]:
+    """(name, weight-matrix) pairs for every prunable GEMM layer."""
+    return [(name, layer.weight_matrix()) for name, layer in gemm_layers(model, include_head)]

@@ -1,0 +1,84 @@
+"""TASDER: the HW/SW bridge that finds TASD series per layer (Section 4)."""
+
+from .activation_search import (
+    activation_search,
+    network_wise_activation_sweep,
+    select_activation_configs,
+)
+from .calibrate import ActivationProfile, CalibrationResult, calibrate
+from .config import (
+    ALL_TTC_MENUS,
+    STC_2_4,
+    TTC_STC_M4,
+    TTC_STC_M8,
+    TTC_VEGETA_M4,
+    TTC_VEGETA_M8,
+    VEGETA_M8,
+    HardwareMenu,
+    menu_n4,
+    menu_n8,
+    menu_n16,
+)
+from .framework import Tasder, TasderResult
+from .quality import (
+    QualityGate,
+    collect_gemm_shapes,
+    evaluate_transform,
+    transform_compute_fraction,
+)
+from .training import GradientTASD, TasdTrainingResult, train_with_tasd_gradients
+from .transform import (
+    TASDTransform,
+    apply_activation_transform,
+    apply_weight_transform,
+    clear_transform,
+    decompose_activation,
+    decompose_weight_matrix,
+)
+from .weight_search import (
+    GreedySearchResult,
+    candidate_drop_table,
+    greedy_weight_search,
+    network_wise_weight_sweep,
+    sparsity_based_weight_selection,
+)
+
+__all__ = [
+    "Tasder",
+    "TasderResult",
+    "HardwareMenu",
+    "TTC_STC_M4",
+    "TTC_STC_M8",
+    "TTC_VEGETA_M4",
+    "TTC_VEGETA_M8",
+    "VEGETA_M8",
+    "STC_2_4",
+    "ALL_TTC_MENUS",
+    "menu_n4",
+    "menu_n8",
+    "menu_n16",
+    "TASDTransform",
+    "apply_weight_transform",
+    "apply_activation_transform",
+    "clear_transform",
+    "decompose_weight_matrix",
+    "decompose_activation",
+    "calibrate",
+    "CalibrationResult",
+    "ActivationProfile",
+    "greedy_weight_search",
+    "GreedySearchResult",
+    "candidate_drop_table",
+    "sparsity_based_weight_selection",
+    "network_wise_weight_sweep",
+    "activation_search",
+    "select_activation_configs",
+    "network_wise_activation_sweep",
+    "QualityGate",
+    "evaluate_transform",
+    "collect_gemm_shapes",
+    "transform_compute_fraction",
+    "GradientTASD",
+    "TasdTrainingResult",
+    "train_with_tasd_gradients",
+]

@@ -1,0 +1,93 @@
+"""TASD-A: selecting per-layer activation configurations (Section 4.3).
+
+Activations are dynamic, so exhaustive per-layer testing is infeasible; the
+paper instead calibrates per-layer sparsity statistics and applies the
+α rule.  For GELU/Swish networks — no exact zeros — pseudo-density stands
+in for sparsity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.series import TASDConfig
+from repro.nn.module import Module
+from repro.pruning.targets import gemm_layers
+
+from .calibrate import CalibrationResult, calibrate
+from .config import HardwareMenu
+from .quality import evaluate_transform
+from .transform import TASDTransform
+
+__all__ = [
+    "select_activation_configs",
+    "activation_search",
+    "network_wise_activation_sweep",
+]
+
+
+def select_activation_configs(
+    calibration: CalibrationResult,
+    menu: HardwareMenu,
+    alpha: float = 0.0,
+    use_pseudo_density: bool | None = None,
+) -> TASDTransform:
+    """α-rule selection from calibration statistics.
+
+    ``use_pseudo_density=None`` auto-detects per layer: layers whose inputs
+    carry real zeros (ReLU-fed) use measured sparsity, dense-activation
+    layers (GELU/Swish-fed) use ``1 - pseudo_density`` (Section 4.3's
+    "Beyond sparsity" heuristic).
+    """
+    if not menu.dynamic_decomposition:
+        raise ValueError(
+            f"{menu.name} has no TASD units; activation decomposition needs "
+            "dynamic decomposition support (use a TTC design)"
+        )
+    configs: dict[str, TASDConfig] = {}
+    for name, profile in calibration:
+        if use_pseudo_density is None:
+            sparsity = profile.effective_sparsity
+        elif use_pseudo_density:
+            sparsity = 1.0 - profile.mean_pseudo_density
+        else:
+            sparsity = profile.mean_sparsity
+        configs[name] = menu.select_by_sparsity(sparsity, alpha)
+    return TASDTransform(activation_configs=configs)
+
+
+def activation_search(
+    model: Module,
+    menu: HardwareMenu,
+    calibration_data: np.ndarray,
+    alpha: float = 0.0,
+    include_head: bool = False,
+    skip_layers: tuple[str, ...] = (),
+) -> TASDTransform:
+    """Calibrate and select in one step (the TASDER TASD-A pipeline).
+
+    ``skip_layers`` excludes layers whose activations empirically cannot be
+    approximated (the paper keeps QKV-projection FCs dense, Section 4.3).
+    """
+    calibration = calibrate(model, calibration_data, include_head)
+    transform = select_activation_configs(calibration, menu, alpha)
+    for name in skip_layers:
+        transform.activation_configs.pop(name, None)
+    return transform
+
+
+def network_wise_activation_sweep(
+    model: Module,
+    configs: list[TASDConfig],
+    x_eval: np.ndarray,
+    y_eval: np.ndarray,
+    include_head: bool = False,
+) -> list[tuple[TASDConfig, float]]:
+    """Accuracy of each single config applied to all activations (Fig. 14, lower)."""
+    layer_names = [name for name, _ in gemm_layers(model, include_head)]
+    results = []
+    for config in configs:
+        transform = TASDTransform(activation_configs={n: config for n in layer_names})
+        acc = evaluate_transform(model, transform, x_eval, y_eval)
+        results.append((config, acc))
+    return results

@@ -1,0 +1,136 @@
+"""Hardware menus: which TASD series a given accelerator can execute.
+
+A :class:`HardwareMenu` captures the structured-sparsity capability of one
+accelerator (its native N:M patterns and the TASD term limit) and exposes the
+*effective* configuration menu TASDER selects from — Table 2 for
+TTC-VEGETA-M8, and the corresponding menus for the other designs of Table 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.patterns import NMPattern
+from repro.core.series import DENSE_CONFIG, TASDConfig, compose_menu
+
+__all__ = [
+    "HardwareMenu",
+    "TTC_STC_M4",
+    "TTC_STC_M8",
+    "TTC_VEGETA_M4",
+    "TTC_VEGETA_M8",
+    "VEGETA_M8",
+    "STC_2_4",
+    "menu_n4",
+    "menu_n8",
+    "menu_n16",
+    "ALL_TTC_MENUS",
+]
+
+
+@dataclass(frozen=True)
+class HardwareMenu:
+    """Structured-sparsity capability of one accelerator design.
+
+    Parameters
+    ----------
+    name : str
+        Design label (matches Table 3).
+    native_patterns : tuple of NMPattern
+        Patterns with lossless native support.
+    max_terms : int
+        TASD series length limit (1 for fixed designs, 2 for TTC).
+    dynamic_decomposition : bool
+        True when the design has TASD units and can decompose activations at
+        runtime (TASD-A); plain STC/VEGETA designs support TASD-W only.
+    """
+
+    name: str
+    native_patterns: tuple[NMPattern, ...]
+    max_terms: int = 2
+    dynamic_decomposition: bool = True
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "native_patterns", tuple(self.native_patterns))
+
+    @property
+    def block_size(self) -> int:
+        """The (largest) native block size M."""
+        return max(p.m for p in self.native_patterns)
+
+    def menu(self) -> dict[float, TASDConfig]:
+        """Density → config menu (always includes the dense fallback)."""
+        return compose_menu(self.native_patterns, max_terms=self.max_terms)
+
+    def configs(self, include_dense: bool = True) -> list[TASDConfig]:
+        """Menu configs ordered dense-first (least to most aggressive)."""
+        menu = self.menu()
+        ordered = [menu[d] for d in sorted(menu, reverse=True)]
+        if not include_dense:
+            ordered = [c for c in ordered if not c.is_dense]
+        return ordered
+
+    def select_by_sparsity(self, layer_sparsity: float, alpha: float = 0.0) -> TASDConfig:
+        """The paper's α rule (Section 4.3).
+
+        Choose the config ``Hj`` with the *largest* approximated sparsity
+        that stays below ``S(L) + α``: aggressive enough to exploit the
+        layer's sparsity, conservative enough (modulo α slack) not to drop
+        much.  Larger α ⇒ sparser configs ⇒ more dropped non-zeros.  The
+        dense fallback (approximated sparsity 0) is always admissible when
+        ``S + α > 0``; otherwise dense is returned anyway.
+        """
+        budget = layer_sparsity + alpha
+        admissible = [
+            c for c in self.menu().values() if c.approximated_sparsity < budget
+        ]
+        if not admissible:
+            return DENSE_CONFIG
+        return max(admissible, key=lambda c: c.approximated_sparsity)
+
+    def __str__(self) -> str:  # pragma: no cover - formatting
+        pats = ", ".join(str(p) for p in self.native_patterns)
+        return f"{self.name}[{pats}; ≤{self.max_terms} terms]"
+
+
+# --------------------------------------------------------------------------
+# Table 3's designs
+# --------------------------------------------------------------------------
+TTC_STC_M4 = HardwareMenu(
+    "TTC-STC-M4", (NMPattern(2, 4),), max_terms=1, dynamic_decomposition=True
+)
+TTC_STC_M8 = HardwareMenu(
+    "TTC-STC-M8", (NMPattern(4, 8),), max_terms=1, dynamic_decomposition=True
+)
+TTC_VEGETA_M4 = HardwareMenu(
+    "TTC-VEGETA-M4", (NMPattern(1, 4), NMPattern(2, 4)), max_terms=2, dynamic_decomposition=True
+)
+TTC_VEGETA_M8 = HardwareMenu(
+    "TTC-VEGETA-M8",
+    (NMPattern(1, 8), NMPattern(2, 8), NMPattern(4, 8)),
+    max_terms=2,
+    dynamic_decomposition=True,
+)
+# Baselines without TASD units (weights-only, Appendix B's ablation).
+VEGETA_M8 = HardwareMenu(
+    "VEGETA", (NMPattern(1, 8), NMPattern(2, 8), NMPattern(4, 8)),
+    max_terms=1, dynamic_decomposition=False,
+)
+STC_2_4 = HardwareMenu("STC", (NMPattern(2, 4),), max_terms=1, dynamic_decomposition=False)
+
+ALL_TTC_MENUS = (TTC_STC_M4, TTC_STC_M8, TTC_VEGETA_M4, TTC_VEGETA_M8)
+
+
+def menu_n4() -> list[TASDConfig]:
+    """All single-term N:4 configs (Fig. 14's network-wise N:4 sweep)."""
+    return [TASDConfig.single(n, 4) for n in range(1, 5)]
+
+
+def menu_n8() -> list[TASDConfig]:
+    """All single-term N:8 configs."""
+    return [TASDConfig.single(n, 8) for n in range(1, 9)]
+
+
+def menu_n16() -> list[TASDConfig]:
+    """All single-term N:16 configs."""
+    return [TASDConfig.single(n, 16) for n in range(1, 17)]

@@ -1,0 +1,118 @@
+"""Model-quality evaluation under TASD transforms.
+
+The acceptance criterion follows MLPerf (Section 5.1): a transformed model
+is valid only if its accuracy is at least 99 % of the original model's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.im2col import GemmShape
+from repro.nn.module import Module
+from repro.nn.train import evaluate_accuracy
+from repro.pruning.targets import gemm_layers
+
+from .transform import TASDTransform, apply_activation_transform, apply_weight_transform, clear_transform
+
+__all__ = [
+    "QualityGate",
+    "evaluate_transform",
+    "collect_gemm_shapes",
+    "transform_compute_fraction",
+]
+
+
+@dataclass(frozen=True)
+class QualityGate:
+    """The ≥ 99 %-of-original accuracy rule."""
+
+    original_accuracy: float
+    threshold: float = 0.99
+
+    @property
+    def min_accuracy(self) -> float:
+        return self.threshold * self.original_accuracy
+
+    def accepts(self, accuracy: float) -> bool:
+        return accuracy >= self.min_accuracy - 1e-12
+
+
+def evaluate_transform(
+    model: Module,
+    transform: TASDTransform,
+    x: np.ndarray,
+    y: np.ndarray,
+    restore: bool = True,
+) -> float:
+    """Accuracy of ``model`` under ``transform`` (optionally restoring after)."""
+    apply_weight_transform(model, transform.weight_configs)
+    apply_activation_transform(model, transform.activation_configs)
+    try:
+        return evaluate_accuracy(model, x, y)
+    finally:
+        if restore:
+            clear_transform(model)
+
+
+def collect_gemm_shapes(
+    model: Module, sample_input: np.ndarray, include_head: bool = False
+) -> dict[str, GemmShape]:
+    """Per-layer GEMM shapes observed on one forward pass of ``sample_input``.
+
+    M is normalised per sample (divided by the batch size), so MAC counts
+    are per-inference — the unit the paper's Fig. 20 reports.
+    """
+    model.eval()
+    clear = []
+    shapes: dict[str, GemmShape] = {}
+    batch = sample_input.shape[0]
+
+    def make_hook(name: str, layer) -> None:
+        def hook(module, x, _out):
+            if hasattr(layer, "gemm_shape"):
+                if hasattr(layer, "kernel_size"):  # Conv2d: needs spatial dims
+                    gs = layer.gemm_shape(batch, x.shape[2], x.shape[3])
+                else:
+                    rows = int(np.prod(x.shape[:-1]))
+                    gs = GemmShape(m=rows, k=layer.in_features, n=layer.out_features)
+                shapes[name] = GemmShape(m=max(1, gs.m // batch), k=gs.k, n=gs.n)
+
+        layer.register_forward_hook(hook)
+        clear.append(layer)
+
+    for name, layer in gemm_layers(model, include_head):
+        make_hook(name, layer)
+    try:
+        model(sample_input)
+    finally:
+        for layer in clear:
+            layer.clear_forward_hooks()
+    return shapes
+
+
+def transform_compute_fraction(
+    transform: TASDTransform, shapes: dict[str, GemmShape]
+) -> float:
+    """MAC-weighted compute fraction of a transform relative to dense.
+
+    Each layer's GEMM runs at the density of its weight- or activation-side
+    series (whichever is applied; the paper never stacks both on one GEMM,
+    Section 5.1), so the model-level fraction is the MAC-weighted mean.
+    Layers without shapes (never exercised) are skipped.
+    """
+    total = 0
+    effective = 0.0
+    for name, shape in shapes.items():
+        w_cfg = transform.weight_configs.get(name)
+        a_cfg = transform.activation_configs.get(name)
+        density = 1.0
+        if w_cfg is not None and not w_cfg.is_dense:
+            density = w_cfg.density
+        elif a_cfg is not None and not a_cfg.is_dense:
+            density = a_cfg.density
+        total += shape.macs
+        effective += shape.macs * density
+    return effective / total if total else 1.0

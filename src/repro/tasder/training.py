@@ -1,0 +1,115 @@
+"""TASD for training: structured approximation of gradients (Section 6.2).
+
+The paper leaves training as future work: "TASD can potentially be used to
+approximate sparse activations and gradients during DNN training."  This
+module implements that extension for the NumPy substrate:
+
+* :class:`GradientTASD` — after every backward pass, replace each GEMM
+  layer's weight gradient with its TASD-series view.  On structured sparse
+  hardware the backward GEMMs then enjoy the same N:M compute skipping as
+  inference, at the cost of a (bounded, measured) gradient approximation.
+* :func:`train_with_tasd_gradients` — a drop-in training loop wrapper that
+  applies the compression and tracks the relative gradient error, so the
+  accuracy-vs-savings trade-off is observable rather than asserted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.series import TASDConfig
+from repro.nn.module import Module
+from repro.nn.train import Adam, cross_entropy, evaluate_accuracy, iterate_minibatches
+from repro.pruning.targets import gemm_layers
+from repro.tensor.blocks import crop_to_shape, pad_to_multiple
+
+__all__ = ["GradientTASD", "TasdTrainingResult", "train_with_tasd_gradients"]
+
+
+class GradientTASD:
+    """Compress GEMM weight gradients with a TASD series after backward."""
+
+    def __init__(self, model: Module, config: TASDConfig, include_head: bool = False) -> None:
+        if config.is_dense:
+            raise ValueError("gradient compression needs a non-dense TASD config")
+        self.config = config
+        self.layers = gemm_layers(model, include_head)
+        self._lcm = int(np.lcm.reduce([p.m for p in config.patterns]))
+        self.last_relative_error: float = 0.0
+        self.compressed_steps: int = 0
+
+    @property
+    def compute_density(self) -> float:
+        """Backward-GEMM compute fraction the series implies (Σ n_i/m_i)."""
+        return self.config.density
+
+    def compress(self) -> float:
+        """Replace each layer's ``weight.grad`` with its TASD view, in place.
+
+        Returns the parameter-weighted relative L2 error of this step's
+        compression (0 when gradients are already structured).
+        """
+        err_sq = 0.0
+        norm_sq = 0.0
+        for _, layer in self.layers:
+            grad = layer.weight.grad
+            matrix = grad.reshape(grad.shape[0], -1) if grad.ndim > 2 else grad
+            padded = pad_to_multiple(matrix, self._lcm, axis=-1)
+            approx = crop_to_shape(self.config.view(padded, axis=-1), matrix.shape)
+            err_sq += float(((matrix - approx) ** 2).sum())
+            norm_sq += float((matrix**2).sum())
+            layer.weight.grad = approx.reshape(grad.shape)
+        self.last_relative_error = float(np.sqrt(err_sq / norm_sq)) if norm_sq else 0.0
+        self.compressed_steps += 1
+        return self.last_relative_error
+
+
+@dataclass
+class TasdTrainingResult:
+    """Trajectory of a TASD-compressed training run."""
+
+    losses: list[float] = field(default_factory=list)
+    gradient_errors: list[float] = field(default_factory=list)
+    final_accuracy: float = 0.0
+    compute_density: float = 1.0
+
+    @property
+    def mean_gradient_error(self) -> float:
+        return float(np.mean(self.gradient_errors)) if self.gradient_errors else 0.0
+
+
+def train_with_tasd_gradients(
+    model: Module,
+    x: np.ndarray,
+    y: np.ndarray,
+    config: TASDConfig,
+    epochs: int = 3,
+    batch_size: int = 32,
+    lr: float = 1e-3,
+    seed: int = 0,
+) -> TasdTrainingResult:
+    """Train with TASD-compressed weight gradients.
+
+    Identical to :func:`repro.nn.train.train_classifier` except every
+    optimizer step consumes structured-sparse gradients — the training-side
+    use the paper sketches.  Compute savings in the weight-gradient GEMMs
+    equal ``1 - config.density``.
+    """
+    rng = np.random.default_rng(seed)
+    optimizer = Adam(model, lr=lr)
+    compressor = GradientTASD(model, config)
+    result = TasdTrainingResult(compute_density=config.density)
+    model.train()
+    for _ in range(epochs):
+        for xb, yb in iterate_minibatches(x, y, batch_size, rng):
+            optimizer.zero_grad()
+            logits = model(xb)
+            loss, dlogits = cross_entropy(logits, yb)
+            model.backward(dlogits)
+            result.gradient_errors.append(compressor.compress())
+            optimizer.step()
+            result.losses.append(loss)
+    result.final_accuracy = evaluate_accuracy(model, x, y)
+    return result

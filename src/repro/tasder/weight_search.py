@@ -1,0 +1,187 @@
+"""TASD-W: selecting per-layer weight configurations (Section 4.2).
+
+Two selection methods, both from the paper:
+
+* :func:`greedy_weight_search` — the dropped-non-zero greedy: measure the
+  dropped-nnz fraction of every (layer, config) pair, sort ascending, apply
+  in order until model quality falls below the gate, then roll back the
+  violating application and stop.  Single pass; runtime seconds per model.
+* :func:`sparsity_based_weight_selection` — the α rule applied to weight
+  sparsity (what Section 5.3 uses for layer-wise TASD-W curves).
+
+And the exhaustive network-wise search used by Fig. 14's upper plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.metrics import dropped_nonzero_fraction
+from repro.core.series import DENSE_CONFIG, TASDConfig
+from repro.nn.module import Module
+from repro.pruning.targets import gemm_layers
+from repro.tensor.blocks import pad_to_multiple
+
+from .config import HardwareMenu
+from .quality import QualityGate, evaluate_transform
+from .transform import TASDTransform, decompose_weight_matrix
+
+__all__ = [
+    "weight_dropped_fraction",
+    "candidate_drop_table",
+    "GreedySearchResult",
+    "greedy_weight_search",
+    "sparsity_based_weight_selection",
+    "network_wise_weight_sweep",
+]
+
+
+def weight_dropped_fraction(w: np.ndarray, config: TASDConfig) -> float:
+    """Fraction of weight non-zeros a config's view drops."""
+    if config.is_dense:
+        return 0.0
+    lcm = int(np.lcm.reduce([p.m for p in config.patterns]))
+    padded = pad_to_multiple(w, lcm, axis=-1)
+    dec = config.apply(padded, axis=-1)
+    return dropped_nonzero_fraction(dec)
+
+
+# Backwards-compatible private alias.
+_weight_dropped_fraction = weight_dropped_fraction
+
+
+def candidate_drop_table(
+    model: Module, menu: HardwareMenu, include_head: bool = False
+) -> list[tuple[float, str, TASDConfig]]:
+    """All (dropped_fraction, layer, config) triples, sorted ascending.
+
+    The greedy algorithm's worklist: cheapest approximations first.
+    """
+    table: list[tuple[float, str, TASDConfig]] = []
+    for name, layer in gemm_layers(model, include_head):
+        w = layer.weight_matrix()
+        for config in menu.configs(include_dense=False):
+            table.append((weight_dropped_fraction(w, config), name, config))
+    table.sort(key=lambda row: (row[0], row[2].density, row[1]))
+    return table
+
+
+@dataclass
+class GreedySearchResult:
+    """Outcome of the greedy TASD-W search."""
+
+    transform: TASDTransform
+    accuracy: float
+    original_accuracy: float
+    applications: int = 0
+    evaluations: int = 0
+    log: list[str] = field(default_factory=list)
+
+
+def greedy_weight_search(
+    model: Module,
+    menu: HardwareMenu,
+    x_eval: np.ndarray,
+    y_eval: np.ndarray,
+    threshold: float = 0.99,
+    include_head: bool = False,
+    eval_every: int = 1,
+) -> GreedySearchResult:
+    """The paper's greedy TASD-W algorithm.
+
+    Applications replace a layer's current config only when the candidate is
+    *more aggressive* (lower density) — a layer may appear in the table under
+    several configs, and the sorted order guarantees we reach the aggressive
+    ones only after their cheaper drops were accepted.  On a quality-gate
+    violation the last application is rolled back and the search stops.
+
+    ``eval_every`` batches accuracy evaluations (the expensive step) across
+    several applications; on violation the whole uncommitted batch rolls back.
+    """
+    from repro.nn.train import evaluate_accuracy
+
+    original_accuracy = evaluate_accuracy(model, x_eval, y_eval)
+    gate = QualityGate(original_accuracy, threshold)
+    table = candidate_drop_table(model, menu, include_head)
+
+    committed: dict[str, TASDConfig] = {}
+    pending: dict[str, TASDConfig] = {}
+    result = GreedySearchResult(
+        transform=TASDTransform(), accuracy=original_accuracy,
+        original_accuracy=original_accuracy,
+    )
+
+    def flush_pending() -> bool:
+        """Evaluate committed+pending; commit on pass, drop pending on fail."""
+        nonlocal committed, pending
+        if not pending:
+            return True
+        trial = {**committed, **pending}
+        acc = evaluate_transform(
+            model, TASDTransform(weight_configs=trial), x_eval, y_eval
+        )
+        result.evaluations += 1
+        if gate.accepts(acc):
+            committed = trial
+            result.accuracy = acc
+            result.applications += len(pending)
+            pending = {}
+            return True
+        result.log.append(
+            f"rolled back {len(pending)} application(s): accuracy {acc:.4f} "
+            f"< gate {gate.min_accuracy:.4f}"
+        )
+        pending = {}
+        return False
+
+    for dropped, name, config in table:
+        current = pending.get(name, committed.get(name, DENSE_CONFIG))
+        if not current.is_dense and config.density >= current.density:
+            continue  # not more aggressive than what's already applied
+        pending[name] = config
+        result.log.append(f"apply {config} to {name} (drop {dropped:.2%})")
+        if len(pending) >= eval_every:
+            if not flush_pending():
+                break
+    else:
+        flush_pending()
+
+    result.transform = TASDTransform(weight_configs=dict(committed))
+    return result
+
+
+def sparsity_based_weight_selection(
+    model: Module,
+    menu: HardwareMenu,
+    alpha: float = 0.0,
+    include_head: bool = False,
+) -> TASDTransform:
+    """Layer-wise TASD-W via the α rule on measured weight sparsity."""
+    configs: dict[str, TASDConfig] = {}
+    for name, layer in gemm_layers(model, include_head):
+        w = layer.weight_matrix()
+        sparsity = 1.0 - np.count_nonzero(w) / w.size
+        configs[name] = menu.select_by_sparsity(sparsity, alpha)
+    return TASDTransform(weight_configs=configs)
+
+
+def network_wise_weight_sweep(
+    model: Module,
+    configs: list[TASDConfig],
+    x_eval: np.ndarray,
+    y_eval: np.ndarray,
+    include_head: bool = False,
+) -> list[tuple[TASDConfig, float]]:
+    """Accuracy of applying each single config to *all* layers (Fig. 14, upper).
+
+    Returns (config, accuracy) pairs in the given config order.
+    """
+    layer_names = [name for name, _ in gemm_layers(model, include_head)]
+    results = []
+    for config in configs:
+        transform = TASDTransform(weight_configs={n: config for n in layer_names})
+        acc = evaluate_transform(model, transform, x_eval, y_eval)
+        results.append((config, acc))
+    return results

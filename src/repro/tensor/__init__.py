@@ -1,0 +1,26 @@
+"""Sparse tensor substrate: generators, statistics, block utilities."""
+
+from .blocks import blocks_along_axis, crop_to_shape, pad_to_multiple
+from .random import (
+    activation_like,
+    random_nm_legal,
+    sparse_matrix,
+    sparse_normal,
+    sparse_uniform,
+)
+from .stats import TensorStats, collect_stats, per_block_nnz_histogram, pseudo_density
+
+__all__ = [
+    "pad_to_multiple",
+    "crop_to_shape",
+    "blocks_along_axis",
+    "sparse_uniform",
+    "sparse_normal",
+    "sparse_matrix",
+    "random_nm_legal",
+    "activation_like",
+    "TensorStats",
+    "collect_stats",
+    "pseudo_density",
+    "per_block_nnz_histogram",
+]

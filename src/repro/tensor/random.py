@@ -1,0 +1,130 @@
+"""Synthetic sparse tensor generators (Appendix A's experimental inputs).
+
+The paper's synthetic study uses 128x128 / 256x256 matrices with controlled
+density and either uniform(0, 1) or normal(0, 1/3) value distributions; the
+generators here reproduce those and add per-layer sparsity-profile sampling
+used by the workload suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "sparse_uniform",
+    "sparse_normal",
+    "sparse_matrix",
+    "random_nm_legal",
+    "activation_like",
+]
+
+
+def _rng(seed_or_rng: int | np.random.Generator | None) -> np.random.Generator:
+    if isinstance(seed_or_rng, np.random.Generator):
+        return seed_or_rng
+    return np.random.default_rng(seed_or_rng)
+
+
+def _apply_density(values: np.ndarray, density: float, rng: np.random.Generator) -> np.ndarray:
+    if not 0.0 <= density <= 1.0:
+        raise ValueError(f"density must be in [0, 1], got {density}")
+    mask = rng.random(values.shape) < density
+    return np.where(mask, values, 0.0)
+
+
+def sparse_uniform(
+    shape: tuple[int, ...],
+    density: float,
+    low: float = 0.0,
+    high: float = 1.0,
+    seed: int | np.random.Generator | None = 0,
+) -> np.ndarray:
+    """Unstructured sparse tensor with Uniform(low, high) non-zero values.
+
+    Note: with ``low == 0`` a vanishing fraction of sampled non-zeros can be
+    exactly 0.0; values are nudged away from zero so density is exact.
+    """
+    rng = _rng(seed)
+    values = rng.uniform(low, high, size=shape)
+    if low <= 0.0 <= high:
+        values = np.where(values == 0.0, np.nextafter(0.0, 1.0), values)
+    return _apply_density(values, density, rng)
+
+
+def sparse_normal(
+    shape: tuple[int, ...],
+    density: float,
+    mean: float = 0.0,
+    std: float = 1.0 / 3.0,
+    seed: int | np.random.Generator | None = 0,
+) -> np.ndarray:
+    """Unstructured sparse tensor with Normal(mean, std) non-zero values."""
+    rng = _rng(seed)
+    values = rng.normal(mean, std, size=shape)
+    values = np.where(values == 0.0, np.nextafter(0.0, 1.0), values)
+    return _apply_density(values, density, rng)
+
+
+def sparse_matrix(
+    rows: int,
+    cols: int,
+    density: float,
+    distribution: str = "normal",
+    seed: int | np.random.Generator | None = 0,
+) -> np.ndarray:
+    """Convenience 2-D generator matching Appendix A's setup."""
+    if distribution == "normal":
+        return sparse_normal((rows, cols), density, seed=seed)
+    if distribution == "uniform":
+        return sparse_uniform((rows, cols), density, seed=seed)
+    raise ValueError(f"unknown distribution {distribution!r}")
+
+
+def random_nm_legal(
+    rows: int,
+    cols: int,
+    n: int,
+    m: int,
+    seed: int | np.random.Generator | None = 0,
+) -> np.ndarray:
+    """A random matrix that is exactly N:M legal with exactly N nnz per block.
+
+    Used to test the lossless path: structured accelerators must run these
+    without dropping anything.
+    """
+    if cols % m != 0:
+        raise ValueError(f"cols={cols} not divisible by m={m}")
+    rng = _rng(seed)
+    n_blocks = cols // m
+    out = np.zeros((rows, n_blocks, m))
+    vals = rng.normal(size=(rows, n_blocks, n))
+    vals = np.where(vals == 0.0, 1e-6, vals)
+    # Choose n distinct positions per block via argsort of random keys.
+    keys = rng.random((rows, n_blocks, m))
+    pos = np.argsort(keys, axis=-1)[..., :n]
+    np.put_along_axis(out, pos, vals, axis=-1)
+    return out.reshape(rows, cols)
+
+
+def activation_like(
+    shape: tuple[int, ...],
+    kind: str = "relu",
+    seed: int | np.random.Generator | None = 0,
+) -> np.ndarray:
+    """Tensors distributed like post-activation feature maps.
+
+    ``relu`` halves a standard normal (≈50 % zeros, Section 2.2's intrinsic
+    activation sparsity); ``gelu`` produces the dense-but-skewed magnitude
+    distribution that motivates pseudo-density (Section 4.3).
+    """
+    rng = _rng(seed)
+    pre = rng.normal(size=shape)
+    if kind == "relu":
+        return np.maximum(pre, 0.0)
+    if kind == "gelu":
+        from scipy.stats import norm
+
+        return pre * norm.cdf(pre)
+    if kind == "dense":
+        return pre
+    raise ValueError(f"unknown activation kind {kind!r}")

@@ -1,0 +1,84 @@
+"""Sparsity and magnitude statistics used by TASDER's selection heuristics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "TensorStats",
+    "collect_stats",
+    "pseudo_density",
+    "per_block_nnz_histogram",
+]
+
+
+@dataclass(frozen=True)
+class TensorStats:
+    """Summary statistics of one tensor (weights or a batch of activations)."""
+
+    size: int
+    nnz: int
+    sparsity: float
+    mean_abs: float
+    max_abs: float
+    magnitude_sum: float
+    pseudo_density_99: float
+
+    @property
+    def density(self) -> float:
+        return 1.0 - self.sparsity
+
+
+def collect_stats(x: np.ndarray, pseudo_density_target: float = 0.99) -> TensorStats:
+    """Compute :class:`TensorStats` for ``x`` in one vectorised pass."""
+    x = np.asarray(x)
+    mag = np.abs(x)
+    nnz = int(np.count_nonzero(x))
+    total = float(mag.sum())
+    return TensorStats(
+        size=x.size,
+        nnz=nnz,
+        sparsity=1.0 - nnz / x.size if x.size else 0.0,
+        mean_abs=float(mag.mean()) if x.size else 0.0,
+        max_abs=float(mag.max()) if x.size else 0.0,
+        magnitude_sum=total,
+        pseudo_density_99=pseudo_density(x, pseudo_density_target),
+    )
+
+
+def pseudo_density(x: np.ndarray, target: float = 0.99) -> float:
+    """Smallest element fraction whose magnitudes sum to ``target`` of the total.
+
+    Section 4.3's heuristic for GELU/Swish networks: activations are dense
+    but magnitude-skewed, so the fraction of elements needed to preserve 99 %
+    of total magnitude plays the role of density.  A tensor of identical
+    magnitudes has pseudo-density ≈ ``target``; a heavily skewed tensor has a
+    much smaller one.
+    """
+    if not 0.0 < target <= 1.0:
+        raise ValueError(f"target must be in (0, 1], got {target}")
+    x = np.asarray(x)
+    if x.size == 0:
+        return 0.0
+    mag = np.sort(np.abs(x), axis=None)[::-1]
+    total = float(mag.sum())
+    if total == 0.0:
+        return 0.0
+    cumulative = np.cumsum(mag)
+    # First index where the running sum reaches the target share.
+    k = int(np.searchsorted(cumulative, target * total, side="left")) + 1
+    return min(1.0, k / x.size)
+
+
+def per_block_nnz_histogram(x: np.ndarray, m: int, axis: int = -1) -> np.ndarray:
+    """Histogram of non-zeros per ``m``-block; index k counts blocks with k nnz.
+
+    Useful for validating the binomial model in :mod:`repro.core.analysis`.
+    """
+    from repro.core.patterns import block_view
+
+    blocks = block_view(np.asarray(x), m, axis=axis)
+    nnz = np.count_nonzero(blocks, axis=-1).ravel()
+    return np.bincount(nnz, minlength=m + 1)

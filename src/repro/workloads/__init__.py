@@ -1,0 +1,47 @@
+"""Workload definitions: full-size layer shapes and the evaluation suite."""
+
+from .shapes import (
+    MODEL_SHAPE_BUILDERS,
+    LayerShape,
+    bert_layers,
+    convnext_layers,
+    resnet_layers,
+    vgg_layers,
+    vit_layers,
+)
+from .suite import (
+    DROP_CAP_ACTIVATIONS,
+    DROP_CAP_WEIGHTS,
+    PAPER_WORKLOADS,
+    Workload,
+    WorkloadLayer,
+    build_layer_specs,
+    dense_bert,
+    dense_resnet50,
+    representative_layers,
+    select_config_by_drop_cap,
+    sparse_bert,
+    sparse_resnet50,
+)
+
+__all__ = [
+    "LayerShape",
+    "resnet_layers",
+    "vgg_layers",
+    "bert_layers",
+    "vit_layers",
+    "convnext_layers",
+    "MODEL_SHAPE_BUILDERS",
+    "Workload",
+    "WorkloadLayer",
+    "dense_resnet50",
+    "sparse_resnet50",
+    "dense_bert",
+    "sparse_bert",
+    "PAPER_WORKLOADS",
+    "select_config_by_drop_cap",
+    "build_layer_specs",
+    "representative_layers",
+    "DROP_CAP_WEIGHTS",
+    "DROP_CAP_ACTIVATIONS",
+]

@@ -1,0 +1,205 @@
+"""Full-size layer shapes, derived analytically (no weights instantiated).
+
+The hardware experiments run on the paper's actual layer dimensions —
+ResNet-50 at 224x224, BERT-base at sequence length 128, etc. — which only
+requires shape arithmetic, not full-size tensors.  Table 4's representative
+layers fall straight out of these derivations (verified in tests):
+
+  Dense/Sparse RN50  L1: M784-N128-K1152   (stage-3 3x3 conv @ 28x28)
+                     L2: M3136-N64-K576    (stage-2 3x3 conv @ 56x56)
+                     L3: M196-K2304-N256   (stage-4 3x3 conv @ 14x14)
+  Dense/Sparse BERT  L1: M768-N128-K768    (attention projection)
+                     L2: M3072-N128-K768   (MLP FC1)
+                     L3: M768-N128-K3072   (MLP FC2)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.nn.im2col import conv_out_size
+
+__all__ = [
+    "LayerShape",
+    "resnet_layers",
+    "vgg_layers",
+    "bert_layers",
+    "vit_layers",
+    "convnext_layers",
+    "MODEL_SHAPE_BUILDERS",
+]
+
+
+@dataclass(frozen=True)
+class LayerShape:
+    """One CONV/FC layer lowered to GEMM.
+
+    ``spatial`` — output positions x batch (im2col rows / token count);
+    ``reduction`` — the contracted K dimension; ``out_features`` — output
+    channels/features.  Orientation into the accelerator's A/B operands
+    happens per experiment (TASD-W: A = weights (out x red); TASD-A:
+    A = activations (spatial x red)).
+    """
+
+    name: str
+    spatial: int
+    reduction: int
+    out_features: int
+    kind: str = "conv"  # conv | fc
+    kernel_area: int = 1  # kh*kw for convs: im2col reads each input this often
+
+    @property
+    def macs(self) -> int:
+        return self.spatial * self.reduction * self.out_features
+
+    @property
+    def weight_size(self) -> int:
+        return self.reduction * self.out_features
+
+
+# --------------------------------------------------------------------------
+# ResNet
+# --------------------------------------------------------------------------
+_RESNET_STAGES = {
+    18: ([2, 2, 2, 2], "basic"),
+    34: ([3, 4, 6, 3], "basic"),
+    50: ([3, 4, 6, 3], "bottleneck"),
+    101: ([3, 4, 23, 3], "bottleneck"),
+}
+
+
+def resnet_layers(depth: int = 50, image: int = 224, batch: int = 1) -> list[LayerShape]:
+    """All CONV/FC layers of a full-size ImageNet ResNet."""
+    if depth not in _RESNET_STAGES:
+        raise ValueError(f"unsupported ResNet depth {depth}")
+    stage_blocks, block_kind = _RESNET_STAGES[depth]
+    layers: list[LayerShape] = []
+    size = conv_out_size(image, 7, 2, 3)  # stem
+    layers.append(LayerShape("conv1", batch * size * size, 3 * 49, 64, kernel_area=49))
+    size = conv_out_size(size, 3, 2, 1)  # maxpool
+    in_ch = 64
+    width = 64
+    expansion = 4 if block_kind == "bottleneck" else 1
+    for stage_idx, n_blocks in enumerate(stage_blocks):
+        for block_idx in range(n_blocks):
+            stride = 2 if (stage_idx > 0 and block_idx == 0) else 1
+            out_size = size // stride
+            prefix = f"layer{stage_idx + 1}.{block_idx}"
+            sp = batch * out_size * out_size
+            if block_kind == "bottleneck":
+                layers.append(LayerShape(f"{prefix}.conv1", batch * size * size, in_ch, width))
+                layers.append(LayerShape(f"{prefix}.conv2", sp, width * 9, width, kernel_area=9))
+                layers.append(LayerShape(f"{prefix}.conv3", sp, width, width * expansion))
+            else:
+                layers.append(LayerShape(f"{prefix}.conv1", sp, in_ch * 9, width, kernel_area=9))
+                layers.append(LayerShape(f"{prefix}.conv2", sp, width * 9, width, kernel_area=9))
+            if stride != 1 or in_ch != width * expansion:
+                layers.append(LayerShape(f"{prefix}.downsample", sp, in_ch, width * expansion))
+            in_ch = width * expansion
+            size = out_size
+        width *= 2
+    layers.append(LayerShape("fc", batch, in_ch, 1000, kind="fc"))
+    return layers
+
+
+# --------------------------------------------------------------------------
+# VGG
+# --------------------------------------------------------------------------
+_VGG_PLANS = {
+    11: [64, "M", 128, "M", 256, 256, "M", 512, 512, "M", 512, 512, "M"],
+    16: [64, 64, "M", 128, 128, "M", 256, 256, 256, "M", 512, 512, 512, "M", 512, 512, 512, "M"],
+}
+
+
+def vgg_layers(depth: int = 16, image: int = 224, batch: int = 1) -> list[LayerShape]:
+    """All CONV/FC layers of a full-size VGG (classifier folded to one FC)."""
+    if depth not in _VGG_PLANS:
+        raise ValueError(f"unsupported VGG depth {depth}")
+    layers: list[LayerShape] = []
+    size = image
+    in_ch = 3
+    idx = 0
+    for item in _VGG_PLANS[depth]:
+        if item == "M":
+            size //= 2
+            continue
+        layers.append(LayerShape(f"conv{idx}", batch * size * size, in_ch * 9, int(item), kernel_area=9))
+        in_ch = int(item)
+        idx += 1
+    layers.append(LayerShape("fc", batch, in_ch * size * size, 4096, kind="fc"))
+    layers.append(LayerShape("fc2", batch, 4096, 1000, kind="fc"))
+    return layers
+
+
+# --------------------------------------------------------------------------
+# BERT
+# --------------------------------------------------------------------------
+def bert_layers(
+    num_layers: int = 12, dim: int = 768, mlp_ratio: int = 4, seq: int = 128, batch: int = 1
+) -> list[LayerShape]:
+    """FC layers of a BERT-base encoder (Q/K/V, attention out, MLP FCs)."""
+    layers: list[LayerShape] = []
+    tokens = batch * seq
+    for i in range(num_layers):
+        p = f"encoder.{i}"
+        for proj in ("q", "k", "v"):
+            layers.append(LayerShape(f"{p}.attn.{proj}", tokens, dim, dim, kind="fc"))
+        layers.append(LayerShape(f"{p}.attn.out", tokens, dim, dim, kind="fc"))
+        layers.append(LayerShape(f"{p}.mlp.fc1", tokens, dim, dim * mlp_ratio, kind="fc"))
+        layers.append(LayerShape(f"{p}.mlp.fc2", tokens, dim * mlp_ratio, dim, kind="fc"))
+    return layers
+
+
+# --------------------------------------------------------------------------
+# ViT-B/16
+# --------------------------------------------------------------------------
+def vit_layers(
+    image: int = 224, patch: int = 16, dim: int = 768, num_layers: int = 12,
+    mlp_ratio: int = 4, batch: int = 1,
+) -> list[LayerShape]:
+    """FC layers of ViT-B/16 (patch embed + encoder blocks)."""
+    tokens = batch * (image // patch) ** 2
+    layers = [LayerShape("patch_embed", tokens, 3 * patch * patch, dim, kind="fc")]
+    layers.extend(bert_layers(num_layers=num_layers, dim=dim, mlp_ratio=mlp_ratio, seq=tokens, batch=1))
+    return layers
+
+
+# --------------------------------------------------------------------------
+# ConvNeXt-Tiny
+# --------------------------------------------------------------------------
+def convnext_layers(image: int = 224, batch: int = 1) -> list[LayerShape]:
+    """CONV/FC layers of ConvNeXt-T ([3,3,9,3], widths 96..768).
+
+    Depthwise 7x7 convs are excluded (not TASD targets, negligible MACs);
+    each block contributes its two pointwise MLPs.
+    """
+    depths = (3, 3, 9, 3)
+    widths = (96, 192, 384, 768)
+    layers: list[LayerShape] = []
+    size = image // 4
+    layers.append(LayerShape("stem", batch * size * size, 3 * 16, widths[0]))
+    for stage, (depth, width) in enumerate(zip(depths, widths)):
+        if stage > 0:
+            size //= 2
+            layers.append(
+                LayerShape(f"downsample{stage}", batch * size * size, widths[stage - 1] * 4, width)
+            )
+        sp = batch * size * size
+        for b in range(depth):
+            layers.append(LayerShape(f"stage{stage}.{b}.pw1", sp, width, 4 * width, kind="fc"))
+            layers.append(LayerShape(f"stage{stage}.{b}.pw2", sp, 4 * width, width, kind="fc"))
+    layers.append(LayerShape("head", batch, widths[-1], 1000, kind="fc"))
+    return layers
+
+
+MODEL_SHAPE_BUILDERS = {
+    "resnet18": lambda **kw: resnet_layers(18, **kw),
+    "resnet34": lambda **kw: resnet_layers(34, **kw),
+    "resnet50": lambda **kw: resnet_layers(50, **kw),
+    "resnet101": lambda **kw: resnet_layers(101, **kw),
+    "vgg11": lambda **kw: vgg_layers(11, **kw),
+    "vgg16": lambda **kw: vgg_layers(16, **kw),
+    "bert_base": lambda **kw: bert_layers(**kw),
+    "vit_b16": lambda **kw: vit_layers(**kw),
+    "convnext_tiny": lambda **kw: convnext_layers(**kw),
+}

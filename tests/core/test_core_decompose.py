@@ -1,0 +1,116 @@
+"""Tests for TASD decomposition (repro.core.decompose)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.decompose import Decomposition, decompose, extract_term
+from repro.core.patterns import NMPattern, is_pattern_legal
+
+
+class TestExtractTerm:
+    def test_term_plus_residual_reconstructs(self, rng):
+        x = rng.normal(size=(4, 16))
+        term, residual = extract_term(x, NMPattern(2, 4))
+        assert np.allclose(term + residual, x)
+
+    def test_term_residual_disjoint_support(self, rng):
+        x = rng.normal(size=(4, 16))
+        term, residual = extract_term(x, NMPattern(2, 4))
+        assert not np.any((term != 0) & (residual != 0))
+
+    def test_term_is_legal(self, rng):
+        x = rng.normal(size=(4, 16))
+        term, _ = extract_term(x, NMPattern(3, 8))
+        assert is_pattern_legal(term, NMPattern(3, 8))
+
+
+class TestDecomposition:
+    def test_fig4_example_lossless(self, fig4_matrix):
+        """Fig. 4: A = A1(2:4) + A2(2:8) exactly, for the paper's matrix."""
+        dec = decompose(fig4_matrix, [NMPattern(2, 4), NMPattern(2, 8)])
+        assert dec.is_lossless
+        assert np.allclose(dec.reconstruct(), fig4_matrix)
+
+    def test_fig4_first_term_counts(self, fig4_matrix):
+        """The 2:4 term covers 7 of 10 non-zeros and 21 of 25 total sum."""
+        dec = decompose(fig4_matrix, [NMPattern(2, 4)])
+        assert dec.terms[0].nnz == 7
+        assert dec.terms[0].tensor.sum() == pytest.approx(21.0)
+        assert dec.residual.sum() == pytest.approx(4.0)
+
+    def test_empty_series(self, rng):
+        x = rng.normal(size=(2, 8))
+        dec = decompose(x, [])
+        assert dec.order == 0
+        assert np.array_equal(dec.residual, x)
+        assert not np.any(dec.reconstruct())
+
+    def test_terms_extracted_from_residual(self, rng):
+        """Term 2 must not re-extract anything term 1 already kept."""
+        x = rng.normal(size=(4, 16))
+        dec = decompose(x, [NMPattern(2, 4), NMPattern(2, 8)])
+        t1, t2 = dec.terms
+        assert not np.any((t1.tensor != 0) & (t2.tensor != 0))
+
+    def test_incremental_extract_matches_batch(self, rng):
+        x = rng.normal(size=(4, 16))
+        batch = decompose(x, [NMPattern(2, 4), NMPattern(1, 8)])
+        inc = Decomposition(original=x)
+        inc.extract(NMPattern(2, 4))
+        inc.extract(NMPattern(1, 8))
+        assert np.allclose(batch.residual, inc.residual)
+
+    def test_magnitude_monotonically_captured(self, rng):
+        """Each extra term reduces residual magnitude (or leaves it at 0)."""
+        x = rng.normal(size=(8, 32))
+        dec = Decomposition(original=x)
+        prev = np.abs(dec.residual).sum()
+        for p in (NMPattern(2, 8), NMPattern(2, 8), NMPattern(2, 8)):
+            dec.extract(p)
+            cur = np.abs(dec.residual).sum()
+            assert cur <= prev
+            prev = cur
+
+    def test_full_cover_is_lossless(self, rng):
+        """Enough terms to cover every slot -> zero residual."""
+        x = rng.normal(size=(4, 8))
+        dec = decompose(x, [NMPattern(4, 8), NMPattern(4, 8)])
+        assert dec.is_lossless
+
+    def test_patterns_property(self, rng):
+        x = rng.normal(size=(2, 8))
+        dec = decompose(x, [NMPattern(2, 8), NMPattern(1, 8)])
+        assert dec.patterns == (NMPattern(2, 8), NMPattern(1, 8))
+
+
+@given(
+    st.integers(min_value=0, max_value=4),
+    st.integers(min_value=0, max_value=8),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_property_sum_of_terms_plus_residual(n4, n8, seed):
+    """Invariant: original == Σ terms + residual, for any series."""
+    x = np.random.default_rng(seed).normal(size=(3, 16))
+    patterns = []
+    if n4:
+        patterns.append(NMPattern(n4, 4))
+    if n8:
+        patterns.append(NMPattern(n8, 8))
+    dec = decompose(x, patterns)
+    assert np.allclose(dec.reconstruct() + dec.residual, x, atol=1e-12)
+
+
+@given(st.integers(min_value=0, max_value=2**31 - 1))
+def test_property_residual_nnz_never_grows(seed):
+    x = np.random.default_rng(seed).normal(size=(4, 16))
+    dec = Decomposition(original=x)
+    prev_nnz = np.count_nonzero(dec.residual)
+    for p in (NMPattern(1, 4), NMPattern(1, 8), NMPattern(2, 16)):
+        dec.extract(p)
+        nnz = np.count_nonzero(dec.residual)
+        assert nnz <= prev_nnz
+        prev_nnz = nnz

@@ -1,0 +1,158 @@
+"""Edge cases and failure injection across the core API.
+
+These exercise the corners users hit in practice: empty tensors, all-zero
+tensors, single-block shapes, extreme densities, dtype preservation, and
+adversarial value distributions (ties, infinities kept out, subnormals).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DENSE_CONFIG,
+    NMPattern,
+    TASDConfig,
+    decompose,
+    nm_compress,
+    nm_matmul,
+    pattern_view,
+    tasd_matmul,
+)
+from repro.core.metrics import (
+    dropped_magnitude_fraction,
+    dropped_nonzero_fraction,
+    sparsity_degree,
+)
+
+
+class TestZeroAndTinyTensors:
+    def test_all_zero_matrix_decomposes_losslessly(self):
+        x = np.zeros((4, 16))
+        dec = decompose(x, [NMPattern(2, 4)])
+        assert dec.is_lossless
+        assert dropped_nonzero_fraction(dec) == 0.0
+        assert dropped_magnitude_fraction(dec) == 0.0
+
+    def test_single_block_matrix(self):
+        x = np.array([[1.0, 2.0, 3.0, 4.0]])
+        out = pattern_view(x, NMPattern(2, 4))
+        assert np.array_equal(out, [[0.0, 0.0, 3.0, 4.0]])
+
+    def test_single_row_single_element_blocks(self):
+        x = np.array([[5.0, -1.0]])
+        out = pattern_view(x, NMPattern(1, 1))
+        assert np.array_equal(out, x)  # 1:1 is dense
+
+    def test_one_by_m_matrix(self):
+        x = np.ones((1, 8))
+        dec = decompose(x, [NMPattern(4, 8), NMPattern(4, 8)])
+        assert dec.is_lossless
+
+    def test_matmul_with_zero_a(self, rng):
+        a = np.zeros((4, 8))
+        b = rng.normal(size=(8, 3))
+        out = tasd_matmul(a, b, TASDConfig.parse("2:4"))
+        assert not np.any(out)
+
+
+class TestAdversarialValues:
+    def test_all_equal_magnitudes(self):
+        """Pure ties: deterministic lowest-index selection everywhere."""
+        x = np.full((3, 8), 7.0)
+        out = pattern_view(x, NMPattern(2, 4))
+        expected_block = [7.0, 7.0, 0.0, 0.0]
+        assert np.array_equal(out, np.tile(expected_block, (3, 2)))
+
+    def test_negative_dominates_positive(self):
+        x = np.array([[-10.0, 1.0, 2.0, 3.0]])
+        out = pattern_view(x, NMPattern(2, 4))
+        assert out[0, 0] == -10.0
+
+    def test_subnormal_values_treated_as_nonzero(self):
+        tiny = np.nextafter(0.0, 1.0)
+        x = np.array([[tiny, 0.0, 0.0, 0.0]])
+        dec = decompose(x, [NMPattern(1, 4)])
+        assert dec.is_lossless
+
+    def test_mixed_scale_blocks(self, rng):
+        """Blocks spanning 12 orders of magnitude keep the giants."""
+        x = np.array([[1e-6, 1e6, 1e-6, 1e-6, 1e6, 1e-6, 1e-6, 1e-6]])
+        out = pattern_view(x, NMPattern(1, 4))
+        assert np.count_nonzero(out) == 2
+        assert set(out[out != 0]) == {1e6}
+
+    def test_dtype_preserved(self):
+        x = np.ones((2, 8), dtype=np.float32)
+        assert pattern_view(x, NMPattern(2, 4)).dtype == np.float32
+
+
+class TestConfigEdgeCases:
+    def test_empty_series_view_returns_input(self, rng):
+        x = rng.normal(size=(2, 8))
+        assert DENSE_CONFIG.view(x) is not None
+        assert np.array_equal(DENSE_CONFIG.view(x), x)
+
+    def test_order_zero_properties(self):
+        assert DENSE_CONFIG.order == 0
+        assert DENSE_CONFIG.density == 1.0
+        assert DENSE_CONFIG.effective_pattern is None
+
+    def test_duplicate_terms_allowed(self, rng):
+        """2:8 + 2:8 is a legitimate series equal to an effective 4:8."""
+        x = rng.normal(size=(4, 16))
+        series = TASDConfig.parse("2:8+2:8")
+        assert series.effective_pattern == NMPattern(4, 8)
+        assert np.allclose(series.view(x), pattern_view(x, NMPattern(4, 8)))
+
+    def test_term_order_matters_for_mixed_m(self, rng):
+        """2:4 then 2:8 differs from 2:8 then 2:4 (different residuals)."""
+        x = rng.normal(size=(8, 32))
+        a = TASDConfig.parse("2:4+2:8").view(x)
+        b = TASDConfig.parse("2:8+2:4").view(x)
+        assert not np.allclose(a, b)
+
+    def test_series_longer_than_needed_is_lossless(self, rng):
+        x = rng.normal(size=(2, 8)) * (rng.random((2, 8)) < 0.3)
+        dec = TASDConfig.parse("4:8+4:8+4:8").apply(x)
+        assert dec.is_lossless
+
+
+class TestCompressedEdgeCases:
+    def test_compress_all_zero(self):
+        x = np.zeros((2, 8))
+        c = nm_compress(x, NMPattern(2, 4))
+        assert c.nnz == 0
+        assert np.array_equal(nm_matmul(c, np.ones((8, 3))), np.zeros((2, 3)))
+
+    def test_compress_single_row(self, rng):
+        from repro.tensor.random import random_nm_legal
+
+        x = random_nm_legal(1, 8, 2, 4, seed=rng)
+        c = nm_compress(x, NMPattern(2, 4))
+        b = rng.normal(size=(8, 2))
+        assert np.allclose(nm_matmul(c, b), x @ b)
+
+    def test_matmul_single_output_column(self, rng):
+        from repro.tensor.random import random_nm_legal
+
+        x = random_nm_legal(4, 16, 2, 4, seed=rng)
+        b = rng.normal(size=(16, 1))
+        c = nm_compress(x, NMPattern(2, 4))
+        assert np.allclose(nm_matmul(c, b), x @ b)
+
+
+class TestMetricEdgeCases:
+    def test_sparsity_of_scalarlike(self):
+        assert sparsity_degree(np.array([[0.0]])) == 1.0
+        assert sparsity_degree(np.array([[3.0]])) == 0.0
+
+    def test_dropped_fraction_of_dense_pattern(self, rng):
+        x = rng.normal(size=(4, 8))
+        dec = decompose(x, [NMPattern(8, 8)])
+        assert dropped_nonzero_fraction(dec) == 0.0
+
+    def test_magnitude_fraction_zero_matrix(self):
+        dec = decompose(np.zeros((2, 4)), [NMPattern(1, 4)])
+        assert dropped_magnitude_fraction(dec) == 0.0

@@ -1,0 +1,154 @@
+"""Tests for the extension features: channel permutation, generalized
+patterns, and their composition with the core decomposition."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.patterns import NMPattern, pattern_view
+from repro.core.patterns_ext import BlockPattern, VectorPattern, generalized_decompose
+from repro.core.permute import (
+    decompose_with_permutation,
+    greedy_balance_permutation,
+    invert_permutation,
+    kept_magnitude,
+    permute_columns,
+)
+from repro.core.series import TASDConfig
+from repro.tensor.random import sparse_normal
+
+
+class TestPermutation:
+    def test_inverse_roundtrip(self, rng):
+        perm = rng.permutation(16)
+        inv = invert_permutation(perm)
+        assert np.array_equal(perm[inv], np.arange(16))
+        assert np.array_equal(inv[perm], np.arange(16))
+
+    def test_permutation_is_valid(self, rng):
+        w = rng.normal(size=(8, 32))
+        perm = greedy_balance_permutation(w, NMPattern(2, 4))
+        assert sorted(perm) == list(range(32))
+
+    def test_permutation_never_loses_magnitude(self, rng):
+        """decompose_with_permutation falls back to identity if unhelpful."""
+        for seed in range(5):
+            w = sparse_normal((16, 64), density=0.4, seed=seed)
+            result = decompose_with_permutation(w, TASDConfig.parse("2:4"))
+            assert result.kept_magnitude_after >= result.kept_magnitude_before - 1e-12
+            assert result.improvement >= -1e-12
+
+    def test_permutation_helps_adversarial_layout(self):
+        """Columns with all the mass packed into one block per group: a
+        balanced permutation must strictly improve the kept magnitude."""
+        rng = np.random.default_rng(0)
+        w = np.zeros((8, 16))
+        w[:, :4] = rng.normal(size=(8, 4)) * 10  # all heavy columns in block 0
+        w[:, 4:] = rng.normal(size=(8, 12)) * 0.1
+        pattern = NMPattern(2, 4)
+        result = decompose_with_permutation(w, TASDConfig((pattern,)))
+        assert result.improvement > 0.05
+
+    def test_matmul_exactness_with_inverse_on_operand(self, rng):
+        """Permuting W's columns and B's rows identically changes nothing."""
+        w = rng.normal(size=(8, 32))
+        b = rng.normal(size=(32, 5))
+        perm = greedy_balance_permutation(w, NMPattern(2, 4))
+        assert np.allclose(permute_columns(w, perm) @ b[perm], w @ b)
+
+    def test_dense_config_rejected(self, rng):
+        from repro.core.series import DENSE_CONFIG
+
+        with pytest.raises(ValueError):
+            decompose_with_permutation(rng.normal(size=(4, 8)), DENSE_CONFIG)
+
+    def test_indivisible_k_rejected(self, rng):
+        with pytest.raises(ValueError):
+            greedy_balance_permutation(rng.normal(size=(4, 10)), NMPattern(2, 4))
+
+    def test_kept_magnitude_matches_view(self, rng):
+        w = rng.normal(size=(8, 16))
+        p = NMPattern(2, 4)
+        assert kept_magnitude(w, p) == pytest.approx(np.abs(pattern_view(w, p)).sum())
+
+
+class TestBlockPattern:
+    def test_density(self):
+        assert BlockPattern(block=4, keep=1, total=4).density == 0.25
+
+    def test_view_keeps_whole_blocks(self, rng):
+        x = rng.normal(size=(8, 16))
+        p = BlockPattern(block=4, keep=1, total=2)
+        out = p.view(x)
+        tiles = out.reshape(2, 4, 4, 4).transpose(0, 2, 1, 3)
+        nonzero_tiles = [np.any(tiles[i, j]) for i in range(2) for j in range(4)]
+        assert sum(nonzero_tiles) == 4  # half the tiles survive
+
+    def test_view_keeps_heaviest_blocks(self):
+        x = np.ones((4, 8))
+        x[:, :4] *= 5.0  # first tile much heavier
+        out = BlockPattern(block=4, keep=1, total=2).view(x)
+        assert np.all(out[:, :4] == 5.0)
+        assert not np.any(out[:, 4:])
+
+    def test_invalid_shapes(self, rng):
+        with pytest.raises(ValueError):
+            BlockPattern(block=4, keep=1, total=2).view(rng.normal(size=(6, 8)))
+        with pytest.raises(ValueError):
+            BlockPattern(block=4, keep=3, total=2)
+
+
+class TestVectorPattern:
+    def test_whole_columns_survive_or_die(self, rng):
+        x = rng.normal(size=(8, 16))
+        out = VectorPattern(2, 4).view(x)
+        col_nnz = np.count_nonzero(out, axis=0)
+        assert set(col_nnz) <= {0, 8}
+        assert (col_nnz > 0).sum() == 8  # 2 of every 4 columns
+
+    def test_density(self):
+        assert VectorPattern(1, 4).density == 0.25
+
+    def test_keeps_heaviest_columns(self):
+        x = np.ones((4, 4))
+        x[:, 2] = 10.0
+        out = VectorPattern(1, 4).view(x)
+        assert np.all(out[:, 2] == 10.0)
+        assert np.count_nonzero(out) == 4
+
+
+class TestGeneralizedDecompose:
+    def test_mixed_series_reconstructs(self, rng):
+        x = rng.normal(size=(8, 32))
+        dec = generalized_decompose(
+            x, [NMPattern(2, 8), BlockPattern(block=4, keep=1, total=2), VectorPattern(1, 4)]
+        )
+        assert np.allclose(dec.reconstruct() + dec.residual, x)
+
+    def test_residual_magnitude_shrinks(self, rng):
+        x = rng.normal(size=(8, 32))
+        dec = generalized_decompose(x, [VectorPattern(2, 4), NMPattern(2, 8)])
+        assert np.abs(dec.residual).sum() < np.abs(x).sum()
+
+    def test_coarse_patterns_lose_more_than_nm(self, rng):
+        """Fine-grained N:M keeps more magnitude than vector sparsity at
+        equal density — the reason the paper's hardware targets N:M."""
+        x = sparse_normal((32, 64), density=0.8, seed=rng)
+        nm = generalized_decompose(x, [NMPattern(2, 4)])
+        vec = generalized_decompose(x, [VectorPattern(2, 4)])
+        assert np.abs(nm.residual).sum() < np.abs(vec.residual).sum()
+
+    def test_rejects_non_pattern(self, rng):
+        with pytest.raises(TypeError):
+            generalized_decompose(rng.normal(size=(4, 8)), ["2:4"])  # type: ignore[list-item]
+
+
+@given(st.integers(min_value=0, max_value=2**31 - 1))
+def test_property_permutation_preserves_multiset(seed):
+    g = np.random.default_rng(seed)
+    w = g.normal(size=(4, 16))
+    perm = greedy_balance_permutation(w, NMPattern(2, 4))
+    assert np.allclose(np.sort(permute_columns(w, perm), axis=None), np.sort(w, axis=None))

@@ -1,0 +1,156 @@
+"""Tests for approximation metrics and the closed-form drop model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.analysis import (
+    expected_block_overflow,
+    expected_dropped_nonzero_fraction,
+    expected_kept_nonzero_fraction,
+    monte_carlo_dropped_fraction,
+    probability_block_legal,
+    series_expected_dropped_fraction,
+)
+from repro.core.decompose import decompose
+from repro.core.metrics import (
+    density,
+    dropped_magnitude_fraction,
+    dropped_nonzero_fraction,
+    matmul_relative_error,
+    relative_frobenius_error,
+    report,
+    sparsity_degree,
+)
+from repro.core.patterns import NMPattern
+from repro.core.series import TASDConfig
+from repro.tensor.random import sparse_normal
+
+
+class TestMetrics:
+    def test_sparsity_degree(self):
+        x = np.array([[1.0, 0.0], [0.0, 0.0]])
+        assert sparsity_degree(x) == 0.75
+        assert density(x) == 0.25
+
+    def test_empty_tensor(self):
+        assert sparsity_degree(np.array([])) == 0.0
+
+    def test_dropped_fractions_zero_for_lossless(self, fig4_matrix):
+        dec = decompose(fig4_matrix, [NMPattern(2, 4), NMPattern(2, 8)])
+        assert dropped_nonzero_fraction(dec) == 0.0
+        assert dropped_magnitude_fraction(dec) == 0.0
+
+    def test_fig4_one_term_drop_rates(self, fig4_matrix):
+        """Fig. 4: 2:4 view covers 70 % of nnz and 84 % of magnitude."""
+        dec = decompose(fig4_matrix, [NMPattern(2, 4)])
+        assert dropped_nonzero_fraction(dec) == pytest.approx(0.3)
+        assert dropped_magnitude_fraction(dec) == pytest.approx(4.0 / 25.0)
+
+    def test_magnitude_drop_below_nnz_drop(self, rng):
+        """Greedy keeps the largest values, so magnitude loss < count loss."""
+        x = sparse_normal((64, 64), density=0.6, seed=rng)
+        dec = decompose(x, [NMPattern(2, 4)])
+        assert dropped_magnitude_fraction(dec) < dropped_nonzero_fraction(dec)
+
+    def test_relative_frobenius(self):
+        a = np.ones((2, 2))
+        assert relative_frobenius_error(a, a) == 0.0
+        assert relative_frobenius_error(a, np.zeros((2, 2))) == pytest.approx(1.0)
+
+    def test_matmul_error_zero_when_exact(self, rng):
+        a = rng.normal(size=(8, 8))
+        b = rng.normal(size=(8, 4))
+        assert matmul_relative_error(a, a, b) == 0.0
+
+    def test_report_fields(self, fig4_matrix):
+        dec = decompose(fig4_matrix, [NMPattern(2, 4), NMPattern(2, 8)])
+        rep = report(dec)
+        assert rep.lossless
+        assert rep.series == "2:4+2:8"
+        assert rep.original_sparsity == pytest.approx(0.375)
+        assert rep.approximated_density == pytest.approx(0.75)
+
+
+class TestClosedFormAnalysis:
+    def test_zero_density(self):
+        assert expected_dropped_nonzero_fraction(0.0, NMPattern(2, 4)) == 0.0
+
+    def test_dense_pattern_never_drops(self):
+        assert expected_dropped_nonzero_fraction(0.9, NMPattern(8, 8)) == 0.0
+
+    def test_known_value_d05_2_4(self):
+        """E[(B-2)+]/E[B] for B ~ Bin(4, .5) = 0.375/2 = 0.1875."""
+        assert expected_dropped_nonzero_fraction(0.5, NMPattern(2, 4)) == pytest.approx(0.1875)
+
+    def test_full_density_n_m(self):
+        """At density 1, an N:M view drops exactly (M-N)/M."""
+        assert expected_dropped_nonzero_fraction(1.0, NMPattern(2, 4)) == pytest.approx(0.5)
+        assert expected_dropped_nonzero_fraction(1.0, NMPattern(6, 8)) == pytest.approx(0.25)
+
+    def test_kept_complement(self):
+        p = NMPattern(2, 8)
+        d = 0.3
+        assert expected_kept_nonzero_fraction(d, p) == pytest.approx(
+            1.0 - expected_dropped_nonzero_fraction(d, p)
+        )
+
+    def test_expressiveness_m8_beats_m4(self):
+        """Appendix A: at equal density, larger M drops fewer non-zeros."""
+        for d in (0.3, 0.5, 0.7):
+            drop_4 = expected_dropped_nonzero_fraction(d, NMPattern(2, 4))
+            drop_8 = expected_dropped_nonzero_fraction(d, NMPattern(4, 8))
+            assert drop_8 < drop_4
+
+    def test_monotone_in_density(self):
+        p = NMPattern(2, 8)
+        drops = [expected_dropped_nonzero_fraction(d, p) for d in (0.1, 0.3, 0.5, 0.7, 0.9)]
+        assert drops == sorted(drops)
+
+    def test_probability_block_legal(self):
+        assert probability_block_legal(0.0, NMPattern(1, 4)) == pytest.approx(1.0)
+        assert probability_block_legal(1.0, NMPattern(3, 4)) == pytest.approx(0.0, abs=1e-12)
+
+    def test_series_same_m_uses_effective(self):
+        series = TASDConfig.parse("2:8+1:8")
+        direct = expected_dropped_nonzero_fraction(0.4, NMPattern(3, 8))
+        assert series_expected_dropped_fraction(0.4, series) == pytest.approx(direct)
+
+    def test_series_dense_is_zero(self):
+        from repro.core.series import DENSE_CONFIG
+
+        assert series_expected_dropped_fraction(0.5, DENSE_CONFIG) == 0.0
+
+    def test_invalid_density(self):
+        with pytest.raises(ValueError):
+            expected_dropped_nonzero_fraction(1.5, NMPattern(2, 4))
+
+    @pytest.mark.parametrize("density", [0.1, 0.3, 0.5, 0.8])
+    @pytest.mark.parametrize("config_text", ["2:4", "1:8", "2:8+1:8", "4:8+2:8"])
+    def test_analytic_matches_monte_carlo(self, density, config_text):
+        """The property the whole workload pipeline leans on: the binomial
+        model agrees with empirical decomposition on random tensors."""
+        config = TASDConfig.parse(config_text)
+        analytic = series_expected_dropped_fraction(density, config)
+        empirical = monte_carlo_dropped_fraction(density, config, n_blocks=30_000)
+        assert empirical == pytest.approx(analytic, abs=0.01)
+
+
+@given(
+    st.floats(min_value=0.01, max_value=0.99),
+    st.sampled_from([(1, 4), (2, 4), (2, 8), (4, 8), (4, 16)]),
+)
+def test_property_drop_fraction_in_unit_interval(d, nm):
+    frac = expected_dropped_nonzero_fraction(d, NMPattern(*nm))
+    assert 0.0 <= frac <= 1.0
+
+
+@given(st.floats(min_value=0.01, max_value=0.99))
+def test_property_overflow_consistent_with_fraction(d):
+    p = NMPattern(2, 8)
+    assert expected_dropped_nonzero_fraction(d, p) == pytest.approx(
+        expected_block_overflow(d, p) / (p.m * d)
+    )

@@ -1,0 +1,120 @@
+"""Tests for TASD series configs and the Table 2 menu (repro.core.series)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.patterns import NMPattern, pattern_view
+from repro.core.series import DENSE_CONFIG, TASDConfig, compose_menu, menu_table
+
+
+class TestTASDConfig:
+    def test_parse_two_terms(self):
+        cfg = TASDConfig.parse("4:8+1:8")
+        assert cfg.order == 2
+        assert cfg.patterns == (NMPattern(4, 8), NMPattern(1, 8))
+
+    def test_parse_dense(self):
+        assert TASDConfig.parse("dense").is_dense
+        assert TASDConfig.parse("dense") == DENSE_CONFIG
+
+    def test_str_roundtrip(self):
+        for text in ("2:4", "4:8+1:8", "2:4+2:8+2:16", "dense"):
+            assert str(TASDConfig.parse(text)) == text
+
+    def test_density_sums_terms(self):
+        assert TASDConfig.parse("4:8+1:8").density == pytest.approx(0.625)
+        assert TASDConfig.parse("2:4").density == pytest.approx(0.5)
+        assert DENSE_CONFIG.density == 1.0
+
+    def test_density_capped_at_one(self):
+        assert TASDConfig.parse("4:8+4:8+4:8").density == 1.0
+
+    def test_effective_pattern_same_m(self):
+        assert TASDConfig.parse("2:8+1:8").effective_pattern == NMPattern(3, 8)
+        assert TASDConfig.parse("4:8+2:8").effective_pattern == NMPattern(6, 8)
+
+    def test_effective_pattern_mixed_m_is_none(self):
+        assert TASDConfig.parse("2:4+2:8").effective_pattern is None
+
+    def test_effective_pattern_equivalence(self, rng):
+        """A same-M series view equals the single effective-pattern view."""
+        x = rng.normal(size=(6, 32))
+        series = TASDConfig.parse("2:8+1:8")
+        assert np.allclose(series.view(x), pattern_view(x, NMPattern(3, 8)))
+
+    def test_dense_view_identity(self, rng):
+        x = rng.normal(size=(3, 8))
+        assert np.array_equal(DENSE_CONFIG.view(x), x)
+
+    def test_single_constructor(self):
+        assert TASDConfig.single(2, 4) == TASDConfig.parse("2:4")
+
+    def test_rejects_non_pattern(self):
+        with pytest.raises(TypeError):
+            TASDConfig(("2:4",))  # type: ignore[arg-type]
+
+    def test_hashable(self):
+        assert len({TASDConfig.parse("2:4"), TASDConfig.parse("2:4")}) == 1
+
+
+class TestComposeMenu:
+    def test_table2_exact(self):
+        """The derived menu must reproduce Table 2 row for row."""
+        menu = compose_menu(
+            [NMPattern(1, 8), NMPattern(2, 8), NMPattern(4, 8)], max_terms=2
+        )
+        rows = dict(menu_table(menu, m=8))
+        assert rows == {
+            "1:8": "1:8",
+            "2:8": "2:8",
+            "3:8": "2:8+1:8",
+            "4:8": "4:8",
+            "5:8": "4:8+1:8",
+            "6:8": "4:8+2:8",
+            "7:8": "-",
+            "8:8": "Dense",
+        }
+
+    def test_m4_menu(self):
+        menu = compose_menu([NMPattern(1, 4), NMPattern(2, 4)], max_terms=2)
+        rows = dict(menu_table(menu, m=4))
+        assert rows == {"1:4": "1:4", "2:4": "2:4", "3:4": "2:4+1:4", "4:4": "Dense"}
+
+    def test_single_term_menu(self):
+        menu = compose_menu([NMPattern(2, 4)], max_terms=1)
+        densities = sorted(menu)
+        assert densities == [0.5, 1.0]
+
+    def test_three_terms_covers_7_of_8(self):
+        menu = compose_menu(
+            [NMPattern(1, 8), NMPattern(2, 8), NMPattern(4, 8)], max_terms=3
+        )
+        rows = dict(menu_table(menu, m=8))
+        assert rows["7:8"] == "4:8+2:8+1:8"
+
+    def test_prefers_fewer_terms(self):
+        menu = compose_menu([NMPattern(1, 8), NMPattern(2, 8)], max_terms=2)
+        # density 0.25 is reachable as 2:8 (1 term) or 1:8+1:8 (2 terms)
+        assert menu[0.25].order == 1
+
+    def test_no_dense_option(self):
+        menu = compose_menu([NMPattern(2, 4)], max_terms=1, include_dense=False)
+        assert 1.0 not in menu
+
+    def test_zero_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            compose_menu([NMPattern(0, 4)])
+
+
+@given(st.integers(min_value=1, max_value=3))
+def test_property_menu_entries_within_budget(max_terms):
+    menu = compose_menu(
+        [NMPattern(1, 8), NMPattern(2, 8), NMPattern(4, 8)], max_terms=max_terms
+    )
+    for density, config in menu.items():
+        assert config.order <= max_terms
+        assert config.density == pytest.approx(density)

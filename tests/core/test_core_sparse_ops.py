@@ -1,0 +1,108 @@
+"""Tests for compressed N:M storage and structured GEMM (repro.core.sparse_ops)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.patterns import NMPattern, pattern_view
+from repro.core.series import DENSE_CONFIG, TASDConfig
+from repro.core.sparse_ops import nm_compress, nm_decompress, nm_matmul, tasd_matmul
+from repro.tensor.random import random_nm_legal, sparse_normal
+
+
+class TestCompressRoundtrip:
+    @pytest.mark.parametrize("nm", [(1, 4), (2, 4), (2, 8), (4, 8)])
+    def test_roundtrip_exact(self, nm, rng):
+        n, m = nm
+        x = random_nm_legal(6, 8 * m, n, m, seed=rng)
+        c = nm_compress(x, NMPattern(n, m))
+        assert np.array_equal(nm_decompress(c), x)
+
+    def test_rejects_illegal(self, rng):
+        x = rng.normal(size=(4, 16))  # dense: not 2:4 legal w.h.p.
+        with pytest.raises(ValueError, match="not .* legal"):
+            nm_compress(x, NMPattern(2, 4))
+
+    def test_rejects_non_2d(self, rng):
+        with pytest.raises(ValueError):
+            nm_compress(rng.normal(size=(2, 2, 8)), NMPattern(2, 4))
+
+    def test_compression_ratio(self, rng):
+        x = random_nm_legal(4, 32, 2, 4, seed=rng)
+        c = nm_compress(x, NMPattern(2, 4))
+        assert c.values.shape == (4, 8, 2)
+        # 2 of 4 values kept, 2-bit metadata each: 0.5625 of dense bits
+        assert c.compressed_bits == pytest.approx(4 * 32 * 16 * 0.5625)
+
+    def test_underfull_blocks_pad_neutrally(self):
+        x = np.array([[5.0, 0.0, 0.0, 0.0]])  # one nnz in a 2:4 block
+        c = nm_compress(x, NMPattern(2, 4))
+        assert np.array_equal(nm_decompress(c), x)
+
+
+class TestNmMatmul:
+    @pytest.mark.parametrize("nm", [(1, 4), (2, 4), (2, 8), (4, 8)])
+    def test_matches_dense_matmul(self, nm, rng):
+        n, m = nm
+        a = random_nm_legal(5, 4 * m, n, m, seed=rng)
+        b = rng.normal(size=(4 * m, 7))
+        c = nm_compress(a, NMPattern(n, m))
+        assert np.allclose(nm_matmul(c, b), a @ b)
+
+    def test_dimension_mismatch(self, rng):
+        a = random_nm_legal(2, 8, 2, 4, seed=rng)
+        c = nm_compress(a, NMPattern(2, 4))
+        with pytest.raises(ValueError, match="mismatch"):
+            nm_matmul(c, rng.normal(size=(16, 3)))
+
+
+class TestTasdMatmul:
+    def test_dense_config_exact(self, rng):
+        a = rng.normal(size=(6, 16))
+        b = rng.normal(size=(16, 5))
+        assert np.allclose(tasd_matmul(a, b, DENSE_CONFIG), a @ b)
+
+    def test_lossless_series_exact(self, fig4_matrix, rng):
+        b = rng.normal(size=(8, 3))
+        cfg = TASDConfig.parse("2:4+2:8")
+        assert np.allclose(tasd_matmul(fig4_matrix, b, cfg), fig4_matrix @ b)
+
+    def test_matches_view_matmul(self, rng):
+        """Distributive execution == (view of A) @ B, up to float assoc."""
+        a = sparse_normal((8, 32), density=0.5, seed=rng)
+        b = rng.normal(size=(32, 6))
+        cfg = TASDConfig.parse("2:8+1:8")
+        approx_a = cfg.view(a, axis=-1)
+        assert np.allclose(tasd_matmul(a, b, cfg), approx_a @ b)
+
+    def test_error_shrinks_with_more_terms(self, rng):
+        a = sparse_normal((16, 64), density=0.6, seed=rng)
+        b = rng.normal(size=(64, 8))
+        exact = a @ b
+        errs = []
+        for text in ("2:8", "2:8+2:8", "2:8+2:8+2:8"):
+            approx = tasd_matmul(a, b, TASDConfig.parse(text))
+            errs.append(np.linalg.norm(exact - approx))
+        assert errs[0] >= errs[1] >= errs[2]
+
+    def test_return_decomposition(self, rng):
+        a = sparse_normal((4, 16), density=0.5, seed=rng)
+        b = rng.normal(size=(16, 2))
+        out, dec = tasd_matmul(a, b, TASDConfig.parse("2:4"), return_decomposition=True)
+        assert dec.order == 1
+        assert out.shape == (4, 2)
+
+
+@given(
+    st.sampled_from(["1:4", "2:4", "2:8", "4:8", "2:8+1:8", "4:8+2:8"]),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_property_tasd_matmul_equals_view_matmul(config_text, seed):
+    g = np.random.default_rng(seed)
+    a = g.normal(size=(4, 16)) * (g.random((4, 16)) < 0.6)
+    b = g.normal(size=(16, 3))
+    cfg = TASDConfig.parse(config_text)
+    assert np.allclose(tasd_matmul(a, b, cfg), cfg.view(a) @ b, atol=1e-10)

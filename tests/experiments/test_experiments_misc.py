@@ -1,0 +1,57 @@
+"""Tests for reporting helpers, the CLI, and experiment plumbing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import COMMANDS, main
+from repro.experiments.reporting import format_series, format_table
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        out = format_table(["a", "long_header"], [(1, 2.5), (333, 4.125)])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        assert "333" in lines[3]
+
+    def test_format_table_title(self):
+        out = format_table(["x"], [(1,)], title="My Title")
+        assert out.splitlines()[0] == "My Title"
+
+    def test_float_formatting(self):
+        out = format_table(["v"], [(0.123456,)], float_fmt="{:.2f}")
+        assert "0.12" in out
+
+    def test_format_series(self):
+        out = format_series([1.0, 2.0], [0.5, 0.25], "x", "y")
+        assert "0.5000" in out
+
+    def test_empty_rows(self):
+        out = format_table(["a", "b"], [])
+        assert "a" in out
+
+
+class TestCli:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig12" in out and "table2" in out
+
+    def test_table2_command(self, capsys):
+        assert main(["table2"]) == 0
+        assert "2:8+1:8" in capsys.readouterr().out
+
+    def test_fig15_command(self, capsys):
+        assert main(["fig15"]) == 0
+        assert "dram" in capsys.readouterr().out
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_every_fast_command_registered(self):
+        for name in ("table1", "table2", "table3", "table4", "fig12", "fig15",
+                      "fig17", "fig18", "fig19"):
+            assert name in COMMANDS

@@ -1,0 +1,65 @@
+"""Tests for the trained-model registry (fast micro-recipes, no cache)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.zoo import RECIPES, ModelRecipe, get_trained_model
+
+
+class TestRecipes:
+    def test_registry_covers_paper_zoo(self):
+        for name in (
+            "resnet18", "resnet34", "resnet50", "vgg11", "vgg16",
+            "vit", "convnext", "bert",
+            "sparse_resnet18", "sparse_resnet34", "sparse_resnet50",
+            "sparse_vgg11", "sparse_vgg16", "sparse_bert",
+        ):
+            assert name in RECIPES
+
+    def test_fingerprint_changes_with_recipe(self):
+        a = ModelRecipe("x", "resnet", epochs=1)
+        b = ModelRecipe("x", "resnet", epochs=2)
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_unknown_family(self):
+        with pytest.raises(ValueError):
+            get_trained_model(ModelRecipe("x", "rnn"), use_cache=False)
+
+
+class TestTrainAndCache:
+    @pytest.fixture(scope="class")
+    def micro_recipe(self):
+        return ModelRecipe(
+            "micro", "resnet", depth=18, base_width=4, image_size=8,
+            epochs=1, sparsity=0.5, finetune_epochs=1, seed=3,
+        )
+
+    def test_train_without_cache(self, micro_recipe):
+        trained = get_trained_model(micro_recipe, use_cache=False)
+        assert 0.0 <= trained.accuracy <= 1.0
+        assert trained.weight_sparsity == pytest.approx(0.5, abs=0.02)
+
+    def test_cache_roundtrip_identical(self, micro_recipe, tmp_path, monkeypatch):
+        import repro.experiments.zoo as zoo
+
+        monkeypatch.setattr(zoo, "cache_dir", lambda: tmp_path)
+        first = get_trained_model(micro_recipe)  # trains + writes cache
+        assert any(tmp_path.iterdir())
+        second = get_trained_model(micro_recipe)  # loads cache
+        assert second.accuracy == first.accuracy
+        a = first.model.state_dict()
+        b = second.model.state_dict()
+        assert all(np.array_equal(a[k], b[k]) for k in a)
+
+    def test_cache_includes_batchnorm_buffers(self, micro_recipe, tmp_path, monkeypatch):
+        """Regression: reloaded models must keep BN running statistics."""
+        import repro.experiments.zoo as zoo
+
+        monkeypatch.setattr(zoo, "cache_dir", lambda: tmp_path)
+        trained = get_trained_model(micro_recipe)
+        state = trained.model.state_dict()
+        buffer_keys = [k for k in state if k.startswith("buffer::")]
+        assert buffer_keys, "BatchNorm running stats missing from state"
+        assert any("running_mean" in k for k in buffer_keys)

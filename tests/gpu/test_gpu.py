@@ -1,0 +1,117 @@
+"""Tests for the real-system substitute: 2:4 kernels + GPU latency model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.gpu import (
+    RTX3080,
+    build_engine,
+    compress_2to4,
+    decompress_2to4,
+    engine_speedup,
+    gemm_time_us,
+    is_2to4_legal,
+    layer_speedup,
+    prune_2to4,
+    sparse_matmul_2to4,
+)
+from repro.workloads import resnet_layers
+
+
+class TestKernels:
+    def test_prune_makes_legal(self, rng):
+        w = rng.normal(size=(16, 64))
+        assert not is_2to4_legal(w)
+        assert is_2to4_legal(prune_2to4(w))
+
+    def test_prune_bad_shape(self, rng):
+        with pytest.raises(ValueError):
+            prune_2to4(rng.normal(size=(4, 10)))
+
+    def test_compress_roundtrip(self, rng):
+        w = prune_2to4(rng.normal(size=(8, 32)))
+        assert np.array_equal(decompress_2to4(compress_2to4(w)), w)
+
+    def test_sparse_matmul_bit_exact(self, rng):
+        """The headline property: the 2:4 kernel equals dense matmul."""
+        w = prune_2to4(rng.normal(size=(16, 64)))
+        x = rng.normal(size=(64, 24))
+        assert np.allclose(sparse_matmul_2to4(compress_2to4(w), x), w @ x)
+
+    def test_sparse_matmul_rejects_wrong_pattern(self, rng):
+        from repro.core.patterns import NMPattern, pattern_view
+        from repro.core.sparse_ops import nm_compress
+
+        w = pattern_view(rng.normal(size=(4, 32)), NMPattern(4, 8))
+        c = nm_compress(w, NMPattern(4, 8))
+        with pytest.raises(ValueError):
+            sparse_matmul_2to4(c, rng.normal(size=(32, 2)))
+
+
+class TestPerfModel:
+    def test_large_gemm_speedup_band(self):
+        """Large MLP-style GEMMs approach the practical cuSPARSELt band."""
+        s = layer_speedup(4096, 4096, 4096)
+        assert 1.3 < s < 2.0
+
+    def test_small_gemm_no_gain(self):
+        """Launch overhead dominates tiny GEMMs: 2:4 gains nothing."""
+        s = layer_speedup(64, 64, 64)
+        assert s == pytest.approx(1.0, abs=0.05)
+
+    def test_time_positive_and_monotone_in_size(self):
+        t1 = gemm_time_us(256, 256, 256)
+        t2 = gemm_time_us(1024, 1024, 1024)
+        assert 0 < t1 < t2
+
+    def test_sparse_halves_weight_traffic(self):
+        """For a memory-bound (weight-heavy) GEMM, sparse cuts time via bytes."""
+        dense = gemm_time_us(8192, 8192, 8, sparse=False)
+        sparse = gemm_time_us(8192, 8192, 8, sparse=True)
+        assert sparse < dense
+
+    def test_x_traffic_factor(self):
+        slow = gemm_time_us(64, 4608, 100000, x_traffic_factor=1.0)
+        fast = gemm_time_us(64, 4608, 100000, x_traffic_factor=1 / 9)
+        assert fast < slow
+
+
+class TestEngine:
+    @pytest.fixture(scope="class")
+    def rn34_convs(self):
+        return [l for l in resnet_layers(34) if l.kind == "conv"]
+
+    def test_plan_kernel_selection(self, rn34_convs):
+        sparse = {rn34_convs[-1].name}
+        plan = build_engine(rn34_convs, sparse, batch=32)
+        assert plan.num_sparse == 1
+        assert plan.kernels[-1] == "sparse24"
+
+    def test_speedup_monotone_in_layers(self, rn34_convs):
+        names = [l.name for l in rn34_convs]
+        speedups = [
+            engine_speedup(rn34_convs, set(names[:k]), batch=32)
+            for k in (0, 12, 24, 36)
+        ]
+        assert speedups[0] == 1.0
+        assert speedups == sorted(speedups)
+
+    def test_full_conversion_band(self, rn34_convs):
+        """All-layer 2:4 lands in the paper's 1.3-1.6x end-to-end band."""
+        s = engine_speedup(rn34_convs, {l.name for l in rn34_convs}, batch=32)
+        assert 1.3 < s < 1.7
+
+    def test_empty_sparse_set_identity(self, rn34_convs):
+        assert engine_speedup(rn34_convs, set(), batch=32) == 1.0
+
+
+@given(st.integers(min_value=0, max_value=2**31 - 1))
+def test_property_kernel_equivalence(seed):
+    g = np.random.default_rng(seed)
+    w = prune_2to4(g.normal(size=(8, 16)))
+    x = g.normal(size=(16, 4))
+    assert np.allclose(sparse_matmul_2to4(compress_2to4(w), x), w @ x, atol=1e-10)

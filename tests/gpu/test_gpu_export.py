@@ -1,0 +1,76 @@
+"""Tests for model export → engine build (the §5.5 deployment pipeline)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.series import TASDConfig
+from repro.gpu.export import (
+    EngineSpec,
+    build_engine_from_spec,
+    export_model,
+    load_spec,
+    save_spec,
+)
+from repro.nn import synthetic_images
+from repro.nn.models import MLP
+from repro.pruning import gemm_layers
+from repro.tasder import apply_weight_transform, clear_transform
+
+
+@pytest.fixture
+def model_and_input(rng):
+    ds = synthetic_images(n_train=8, n_eval=8, size=8, seed=0)
+    model = MLP(192, (64, 64), 10, rng=rng)
+    return model, ds.x_eval.reshape(8, -1)
+
+
+class TestExport:
+    def test_dense_model_exports_no_sparse_layers(self, model_and_input):
+        model, x = model_and_input
+        spec = export_model(model, x[:2])
+        assert spec.sparse_layers == frozenset()
+        assert len(spec.layers) == len(gemm_layers(model))
+
+    def test_tasd_24_layers_marked_sparse(self, model_and_input):
+        """Layers whose effective weight is 2:4-legal select the sparse kernel."""
+        model, x = model_and_input
+        names = [n for n, _ in gemm_layers(model)]
+        apply_weight_transform(model, {names[0]: TASDConfig.parse("2:4")})
+        model.eval()
+        spec = export_model(model, x[:2])
+        assert names[0] in spec.sparse_layers
+        assert names[1] not in spec.sparse_layers
+        clear_transform(model)
+
+    def test_json_roundtrip(self, model_and_input, tmp_path):
+        model, x = model_and_input
+        spec = export_model(model, x[:2], model_name="mlp")
+        path = tmp_path / "engine.json"
+        save_spec(spec, path)
+        loaded = load_spec(path)
+        assert loaded == spec
+
+    def test_engine_build_from_spec(self, model_and_input):
+        model, x = model_and_input
+        names = [n for n, _ in gemm_layers(model)]
+        apply_weight_transform(model, {n: TASDConfig.parse("2:4") for n in names})
+        model.eval()
+        spec = export_model(model, x[:2])
+        plan = build_engine_from_spec(spec, batch=32)
+        assert plan.num_sparse == len(names)
+        assert plan.total_us > 0
+        clear_transform(model)
+
+    def test_sparse_engine_not_slower(self, model_and_input):
+        model, x = model_and_input
+        dense_spec = export_model(model, x[:2])
+        names = [n for n, _ in gemm_layers(model)]
+        apply_weight_transform(model, {n: TASDConfig.parse("2:4") for n in names})
+        model.eval()
+        sparse_spec = export_model(model, x[:2])
+        clear_transform(model)
+        dense_t = build_engine_from_spec(dense_spec, batch=256).total_us
+        sparse_t = build_engine_from_spec(sparse_spec, batch=256).total_us
+        assert sparse_t <= dense_t + 1e-9

@@ -1,0 +1,177 @@
+"""Tests for the accelerator models (TC / DSTC / structured / TTC)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.series import DENSE_CONFIG, TASDConfig
+from repro.hw import (
+    DSTC,
+    TTC,
+    DenseTC,
+    LayerSpec,
+    StructuredSparseAccelerator,
+    build_model,
+    geomean,
+    normalize,
+)
+from repro.hw.designs import TABLE3_DESIGNS
+
+
+def spec(m=512, k=1024, n=256, **kw) -> LayerSpec:
+    return LayerSpec(name="layer", m=m, k=k, n=n, **kw)
+
+
+class TestDenseTC:
+    def test_cycles_at_peak_for_aligned_gemm(self):
+        tc = DenseTC()
+        r = tc.run_layer(spec(m=64, k=4096, n=64))
+        # 16 tiles / 4 engines * K cycles (compute-bound when K large)
+        assert r.compute_cycles == 4 * 4096
+
+    def test_ignores_sparsity(self):
+        tc = DenseTC()
+        dense = tc.run_layer(spec())
+        sparse = tc.run_layer(spec(a_density=0.05, b_density=0.5))
+        assert dense.cycles == sparse.cycles
+        assert dense.energy == pytest.approx(sparse.energy)
+
+    def test_memory_bound_small_k(self):
+        tc = DenseTC()
+        r = tc.run_layer(spec(m=4096, k=16, n=4096))
+        assert r.memory_cycles > r.compute_cycles
+
+    def test_edp_positive(self):
+        r = DenseTC().run_layer(spec())
+        assert r.edp > 0
+        assert r.energy == sum(r.energy_breakdown.values())
+
+
+class TestDSTC:
+    def test_dense_inputs_worse_than_tc(self):
+        """The Fig. 12 dense-BERT effect: overheads with nothing to skip."""
+        tc = DenseTC().run_layer(spec())
+        d = DSTC().run_layer(spec())
+        assert d.edp > tc.edp
+
+    def test_both_side_sparse_wins(self):
+        tc = DenseTC().run_layer(spec())
+        d = DSTC().run_layer(spec(a_density=0.05, b_density=0.5))
+        assert d.edp < 0.5 * tc.edp
+
+    def test_compute_scales_with_density_product(self):
+        d1 = DSTC().run_layer(spec(a_density=0.5, b_density=0.5))
+        d2 = DSTC().run_layer(spec(a_density=0.25, b_density=0.5))
+        assert d2.compute_cycles < d1.compute_cycles
+
+    def test_imbalance_grows_with_sparsity(self):
+        m = DSTC()
+        assert m._imbalance(0.05) > m._imbalance(0.5) > m._imbalance(1.0)
+
+    def test_metadata_only_when_compressed(self):
+        m = DSTC()
+        assert m._compressed_factor(1.0) == 1.0  # dense operand: raw storage
+        assert m._compressed_factor(0.4) == pytest.approx(0.6)
+
+
+class TestStructuredSparse:
+    def test_dense_config_matches_tc(self):
+        """Without a config the structured accelerator is exactly a TC."""
+        tc = DenseTC().run_layer(spec(a_density=0.3, b_density=0.5))
+        s = StructuredSparseAccelerator().run_layer(spec(a_density=0.3, b_density=0.5))
+        assert s.cycles == tc.cycles
+        assert s.energy == pytest.approx(tc.energy)
+
+    def test_compute_scales_with_series_density(self):
+        s = StructuredSparseAccelerator()
+        half = s.run_layer(spec(a_config=TASDConfig.parse("2:4")))
+        quarter = s.run_layer(spec(a_config=TASDConfig.parse("1:4")))
+        assert quarter.compute_cycles == pytest.approx(half.compute_cycles / 2)
+
+    def test_two_term_costs_more_than_effective_single(self):
+        """3:8 as 2:8+1:8 pays extra B/C traffic vs a native 3:8."""
+        s = StructuredSparseAccelerator()
+        native = s.run_layer(spec(a_config=TASDConfig((TASDConfig.parse("2:8+1:8").effective_pattern,))))
+        composed = s.run_layer(spec(a_config=TASDConfig.parse("2:8+1:8")))
+        assert composed.energy > native.energy
+        assert composed.compute_cycles == pytest.approx(native.compute_cycles)
+
+    def test_b_gating_saves_mac_energy(self):
+        gated = StructuredSparseAccelerator(gate_on_b=True).run_layer(
+            spec(a_config=TASDConfig.parse("2:4"), b_density=0.5)
+        )
+        ungated = StructuredSparseAccelerator(gate_on_b=False).run_layer(
+            spec(a_config=TASDConfig.parse("2:4"), b_density=0.5)
+        )
+        assert gated.energy_breakdown["mac"] == pytest.approx(
+            ungated.energy_breakdown["mac"] / 2
+        )
+
+    def test_a_traffic_shrinks_with_compression(self):
+        s = StructuredSparseAccelerator()
+        dense = s.run_layer(spec())
+        sparse = s.run_layer(spec(a_config=TASDConfig.parse("2:8")))
+        assert sparse.energy_breakdown["dram"] < dense.energy_breakdown["dram"]
+
+
+class TestTTC:
+    def test_tasd_unit_energy_only_when_dynamic(self):
+        ttc = TTC()
+        static = ttc.run_layer(spec(a_config=TASDConfig.parse("4:8+1:8"), a_dynamic=False))
+        dynamic = ttc.run_layer(spec(a_config=TASDConfig.parse("4:8+1:8"), a_dynamic=True))
+        assert "tasd_unit" not in static.energy_breakdown
+        assert dynamic.energy_breakdown["tasd_unit"] > 0
+
+    def test_tasd_unit_energy_small(self):
+        """Comparator trees are ~2 % of PE area; energy share must be minor."""
+        ttc = TTC()
+        r = ttc.run_layer(spec(a_config=TASDConfig.parse("4:8+1:8"), a_dynamic=True))
+        assert r.energy_breakdown["tasd_unit"] < 0.05 * r.energy
+
+
+class TestDesignFactory:
+    def test_all_table3_designs_build(self):
+        for name in TABLE3_DESIGNS:
+            dp = build_model(name)
+            assert dp.model.run_layer(spec()).cycles > 0
+
+    def test_unknown_design(self):
+        with pytest.raises(ValueError):
+            build_model("TPUv9")
+
+    def test_ttc_menus_attached(self):
+        assert build_model("TTC-VEGETA-M8").menu is not None
+        assert build_model("TC").menu is None
+
+    def test_vegeta_without_tasd_units(self):
+        assert not build_model("VEGETA").menu.dynamic_decomposition
+
+
+class TestNetworkAggregation:
+    def test_network_sums_layers(self):
+        tc = DenseTC()
+        specs = [spec(m=128, k=256, n=64), spec(m=64, k=128, n=32)]
+        net = tc.run_network(specs)
+        assert net.cycles == sum(r.cycles for r in net.layers)
+        assert net.energy == pytest.approx(sum(r.energy for r in net.layers))
+
+    def test_normalize(self):
+        tc = DenseTC()
+        base = tc.run_network([spec()])
+        norm = normalize(base, base)
+        assert norm.edp == norm.latency == norm.energy == 1.0
+        assert norm.edp_improvement == 0.0
+
+    def test_geomean(self):
+        assert geomean([0.25, 1.0]) == pytest.approx(0.5)
+        with pytest.raises(ValueError):
+            geomean([])
+        with pytest.raises(ValueError):
+            geomean([0.0, 1.0])
+
+    def test_energy_by_component(self):
+        tc = DenseTC()
+        net = tc.run_network([spec(), spec()])
+        comp = net.energy_by_component()
+        assert comp["mac"] == pytest.approx(2 * tc.run_layer(spec()).energy_breakdown["mac"])

@@ -1,0 +1,86 @@
+"""Cross-model consistency properties of the accelerator substrate.
+
+These tie the models together: energy and cycles must respond to operand
+properties in physically sensible directions, and the design family must
+preserve dominance relations the paper's argument depends on.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.series import TASDConfig
+from repro.hw import DSTC, DenseTC, LayerSpec, StructuredSparseAccelerator, TTC
+
+
+def spec(**kw) -> LayerSpec:
+    base = dict(name="l", m=512, k=1024, n=256)
+    base.update(kw)
+    return LayerSpec(**base)
+
+
+class TestPhysicalSanity:
+    def test_energy_monotone_in_gemm_size(self):
+        tc = DenseTC()
+        small = tc.run_layer(spec(m=128, k=256, n=64))
+        big = tc.run_layer(spec(m=256, k=512, n=128))
+        assert big.energy > small.energy
+        assert big.cycles > small.cycles
+
+    def test_structured_energy_monotone_in_series_density(self):
+        s = StructuredSparseAccelerator()
+        energies = [
+            s.run_layer(spec(a_config=TASDConfig.single(n, 8), a_density=0.9)).energy
+            for n in (1, 2, 4)
+        ]
+        assert energies == sorted(energies)
+
+    def test_cycles_never_below_memory_floor(self):
+        tc = DenseTC()
+        r = tc.run_layer(spec(m=8192, k=8, n=8192))  # traffic-heavy
+        assert r.cycles >= r.memory_cycles
+
+    def test_dstc_never_beats_zero_overhead_ideal(self):
+        """DSTC cycles can't go below density-scaled ideal compute."""
+        d = DSTC()
+        for da, db in ((0.1, 0.5), (0.5, 0.5), (1.0, 1.0)):
+            r = d.run_layer(spec(a_density=da, b_density=db))
+            ideal = DenseTC().run_layer(spec()).compute_cycles * da * db
+            assert r.compute_cycles >= ideal * 0.999
+
+    def test_ttc_dense_config_equals_structured_baseline(self):
+        ttc = TTC()
+        base = StructuredSparseAccelerator()
+        a = ttc.run_layer(spec(a_density=0.5, b_density=0.5))
+        b = base.run_layer(spec(a_density=0.5, b_density=0.5))
+        assert a.cycles == b.cycles
+        assert a.energy == pytest.approx(b.energy)
+
+    def test_breakdown_components_nonnegative(self):
+        for model in (DenseTC(), DSTC(), TTC()):
+            r = model.run_layer(spec(a_density=0.3, b_density=0.6,
+                                     a_config=TASDConfig.parse("2:8"), a_dynamic=True))
+            for comp, val in r.energy_breakdown.items():
+                assert val >= 0.0, comp
+
+
+@given(
+    st.floats(min_value=0.05, max_value=1.0),
+    st.floats(min_value=0.05, max_value=1.0),
+)
+def test_property_dstc_cycles_monotone_in_density(da, db):
+    d = DSTC()
+    sparse = d.run_layer(spec(a_density=da * 0.5, b_density=db))
+    dense = d.run_layer(spec(a_density=da, b_density=db))
+    assert sparse.compute_cycles <= dense.compute_cycles * 1.5  # imbalance-bounded
+
+
+@given(st.sampled_from(["1:8", "2:8", "4:8", "2:8+1:8", "4:8+2:8"]))
+def test_property_ttc_beats_tc_on_sparse_weights(config_text):
+    """Any non-dense series on very sparse weights must beat dense TC EDP."""
+    config = TASDConfig.parse(config_text)
+    ttc = TTC().run_layer(spec(a_density=0.05, b_density=0.5, a_config=config))
+    tc = DenseTC().run_layer(spec(a_density=0.05, b_density=0.5))
+    assert ttc.edp < tc.edp

@@ -1,0 +1,101 @@
+"""Tests for architecture config and dataflow access counting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hw import DEFAULT_ARCH, ArchConfig, Bandwidth, EnergyTable, choose_tiles, count_accesses
+
+
+class TestArchConfig:
+    def test_macs_per_cycle(self):
+        assert DEFAULT_ARCH.macs_per_cycle == 4 * 16 * 16
+
+    def test_capacities_in_words(self):
+        assert DEFAULT_ARCH.l1_words == 64 * 1024 // 2
+        assert DEFAULT_ARCH.l2_words == 2048 * 1024 // 2
+
+    def test_with_overheads(self):
+        derived = DEFAULT_ARCH.with_overheads(1.38, 0.7, name="X")
+        assert derived.mac_energy_overhead == 1.38
+        assert derived.name == "X"
+        assert DEFAULT_ARCH.mac_energy_overhead == 1.0  # original untouched
+
+    def test_energy_scaled(self):
+        e = EnergyTable().scaled(dram=50.0)
+        assert e.dram == 50.0
+        assert e.mac == EnergyTable().mac
+
+    def test_energy_hierarchy_ordering(self):
+        """Sanity: each level costs more than the one below it."""
+        e = DEFAULT_ARCH.energy
+        assert e.rf < e.l1 < e.l2 < e.dram
+
+
+class TestChooseTiles:
+    def test_tiles_fit_l2(self):
+        tiles = choose_tiles(1024, 2048, 1024, DEFAULT_ARCH)
+        assert tiles.l2_words(2048) <= DEFAULT_ARCH.l2_words * 1.01
+
+    def test_tiles_multiple_of_pe_dims(self):
+        tiles = choose_tiles(300, 700, 500, DEFAULT_ARCH)
+        assert tiles.tn2 % 16 == 0 or tiles.tn2 == 500
+        assert tiles.tm1 == 16 and tiles.tn1 == 16
+
+    def test_small_gemm_single_tile(self):
+        tiles = choose_tiles(16, 64, 16, DEFAULT_ARCH)
+        assert tiles.tm2 >= 16 and tiles.tn2 >= 16
+
+
+class TestCountAccesses:
+    def test_minimum_traffic_bounds(self):
+        """Every tensor must cross DRAM at least once (compulsory misses)."""
+        m, k, n = 784, 1152, 128
+        counts = count_accesses(m, k, n, DEFAULT_ARCH)
+        assert counts.dram["A"] >= m * k
+        assert counts.dram["B"] >= k * n
+        assert counts.dram["C"] >= m * n
+
+    def test_b_read_once_from_dram(self):
+        counts = count_accesses(784, 1152, 128, DEFAULT_ARCH)
+        assert counts.dram["B"] == 1152 * 128
+
+    def test_inner_levels_at_least_outer(self):
+        """Conservation: L1 serves at least as many words as L2 delivers."""
+        counts = count_accesses(512, 1024, 256, DEFAULT_ARCH)
+        for t in ("A", "B"):
+            assert counts.l1[t] >= counts.dram[t] * 0.999
+            assert counts.l2[t] >= counts.dram[t] * 0.999
+
+    def test_reuse_grows_with_n(self):
+        """Bigger N -> more reuse passes of A through L2."""
+        small = count_accesses(256, 512, 64, DEFAULT_ARCH)
+        big = count_accesses(256, 512, 2048, DEFAULT_ARCH)
+        assert big.l2["A"] / (256 * 512) > small.l2["A"] / (256 * 512)
+
+    def test_scaled_copy_immutability(self):
+        counts = count_accesses(64, 64, 64, DEFAULT_ARCH)
+        scaled = counts.scaled("A", 0.5)
+        assert scaled.dram["A"] == counts.dram["A"] * 0.5
+        assert counts.dram["A"] == scaled.dram["A"] * 2  # original unchanged
+
+    def test_total(self):
+        counts = count_accesses(64, 64, 64, DEFAULT_ARCH)
+        assert counts.total("dram") == sum(counts.dram.values())
+
+
+@given(
+    st.integers(min_value=16, max_value=1024),
+    st.integers(min_value=16, max_value=2048),
+    st.integers(min_value=16, max_value=1024),
+)
+def test_property_access_counts_positive_and_bounded(m, k, n):
+    counts = count_accesses(m, k, n, DEFAULT_ARCH)
+    for level in ("dram", "l2", "l1"):
+        for t, v in getattr(counts, level).items():
+            assert v > 0
+    # A's DRAM traffic can never exceed one reload per 16-wide N tile.
+    assert counts.dram["A"] <= m * k * (-(-n // 16))

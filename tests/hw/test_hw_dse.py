@@ -1,0 +1,42 @@
+"""Tests for design-space exploration (repro.hw.dse)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hw.dse import power_of_two_menu, sweep_block_size, sweep_term_budget
+
+
+class TestMenuBuilder:
+    def test_power_of_two_patterns(self):
+        menu = power_of_two_menu(8, max_terms=2)
+        assert {str(p) for p in menu.native_patterns} == {"1:8", "2:8", "4:8"}
+
+    def test_m16_patterns(self):
+        menu = power_of_two_menu(16, max_terms=1)
+        assert {str(p) for p in menu.native_patterns} == {"1:16", "2:16", "4:16", "8:16"}
+
+    def test_menu_grows_with_terms(self):
+        assert len(power_of_two_menu(8, 2).menu()) > len(power_of_two_menu(8, 1).menu())
+
+
+class TestSweeps:
+    @pytest.fixture(scope="class")
+    def term_sweep(self):
+        return sweep_term_budget(m=8, budgets=(1, 2))
+
+    def test_extra_terms_never_hurt_geomean(self, term_sweep):
+        """Section 5.2's flexibility claim along the term axis."""
+        one, two = term_sweep
+        assert two.geomean_edp <= one.geomean_edp * 1.02
+
+    def test_sweep_points_have_metadata(self, term_sweep):
+        for p in term_sweep:
+            assert p.block_size == 8
+            assert p.menu_size >= 2
+            assert 0.0 < p.geomean_edp < 1.0  # all TTC designs beat TC overall
+
+    def test_block_size_flexibility_helps(self):
+        """Section 5.2's flexibility claim along the M axis (N:4 -> N:8)."""
+        points = {p.block_size: p.geomean_edp for p in sweep_block_size(ms=(4, 8))}
+        assert points[8] <= points[4] * 1.02

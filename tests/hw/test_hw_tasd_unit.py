@@ -1,0 +1,88 @@
+"""Tests for the cycle-level TASD-unit simulator (Fig. 10 / Little's law)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.series import DENSE_CONFIG, TASDConfig
+from repro.hw import min_units_no_stall, service_cycles, simulate_tasd_units
+
+
+class TestServiceCycles:
+    def test_fig10_config(self):
+        """4:8 + 1:8 occupies a unit for 5 extraction cycles (T2..T6)."""
+        assert service_cycles(TASDConfig.parse("4:8+1:8")) == 5
+
+    def test_dense_zero(self):
+        assert service_cycles(DENSE_CONFIG) == 0
+
+    def test_single_term(self):
+        assert service_cycles(TASDConfig.parse("2:8")) == 2
+
+
+class TestLittlesLaw:
+    def test_paper_sizing(self):
+        """Section 4.4: sum of Ns ≤ M guarantees 2M units never stall; the
+        worst case (ΣN = 8) needs 16 units — the number in the TTC design."""
+        worst = TASDConfig.parse("4:8+4:8")
+        assert min_units_no_stall(worst, blocks_per_cycle=2) == 16
+
+    def test_no_stall_at_bound(self):
+        for text in ("1:8", "2:8", "4:8", "4:8+1:8", "4:8+2:8", "4:8+4:8"):
+            config = TASDConfig.parse(text)
+            bound = min_units_no_stall(config)
+            sim = simulate_tasd_units(config, num_units=bound, num_blocks=1000)
+            assert not sim.stalled, f"{text} stalled with {bound} units"
+
+    def test_sixteen_units_cover_all_m8_menus(self):
+        """16 units suffice for every config a TTC-VEGETA-M8 can select."""
+        from repro.tasder.config import TTC_VEGETA_M8
+
+        for config in TTC_VEGETA_M8.menu().values():
+            sim = simulate_tasd_units(config, num_units=16, num_blocks=500)
+            assert not sim.stalled
+
+    def test_stalls_below_bound(self):
+        config = TASDConfig.parse("4:8+1:8")
+        bound = min_units_no_stall(config)
+        sim = simulate_tasd_units(config, num_units=bound // 2, num_blocks=500)
+        assert sim.stalled
+
+    def test_stalls_decrease_with_units(self):
+        config = TASDConfig.parse("4:8+2:8")
+        stalls = [
+            simulate_tasd_units(config, num_units=u, num_blocks=400).stall_cycles
+            for u in (2, 4, 8, 12)
+        ]
+        assert stalls == sorted(stalls, reverse=True)
+
+    def test_all_blocks_processed(self):
+        sim = simulate_tasd_units(TASDConfig.parse("2:8"), num_units=4, num_blocks=333)
+        assert sim.blocks_processed == 333
+
+    def test_dense_config_trivial(self):
+        sim = simulate_tasd_units(DENSE_CONFIG, num_units=1, num_blocks=100)
+        assert sim.total_cycles == 0
+
+    def test_invalid_units(self):
+        with pytest.raises(ValueError):
+            simulate_tasd_units(TASDConfig.parse("2:8"), num_units=0, num_blocks=10)
+
+    def test_busy_fraction_bounds(self):
+        sim = simulate_tasd_units(TASDConfig.parse("4:8"), num_units=8, num_blocks=200)
+        assert 0.0 < sim.unit_busy_fraction <= 1.0
+
+
+@given(
+    st.sampled_from(["1:8", "2:8", "4:8", "2:8+1:8", "4:8+2:8"]),
+    st.integers(min_value=1, max_value=3),
+)
+def test_property_littles_bound_never_stalls(text, blocks_per_cycle):
+    config = TASDConfig.parse(text)
+    bound = min_units_no_stall(config, blocks_per_cycle)
+    sim = simulate_tasd_units(
+        config, num_units=bound, num_blocks=300, blocks_per_cycle=blocks_per_cycle
+    )
+    assert not sim.stalled

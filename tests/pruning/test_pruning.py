@@ -1,0 +1,157 @@
+"""Tests for pruning (magnitude, structured, profiles, target discovery)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.patterns import NMPattern
+from repro.nn import synthetic_images
+from repro.nn.models import MLP, resnet18
+from repro.pruning import (
+    activation_sparsity_profile,
+    apply_masks,
+    gelu_pseudo_density_profile,
+    gemm_layers,
+    global_magnitude_prune,
+    is_nm_pruned,
+    layerwise_magnitude_prune,
+    magnitude_mask,
+    make_mask_fn,
+    nm_prune,
+    nm_prune_and_finetune,
+    prune_and_finetune,
+    sparsity_report,
+    weight_sparsity_profile,
+)
+
+
+class TestTargets:
+    def test_gemm_layers_excludes_head_by_default(self, rng):
+        model = MLP(8, (16, 16), 4, rng=rng)
+        layers = gemm_layers(model)
+        with_head = gemm_layers(model, include_head=True)
+        assert len(with_head) == len(layers) + 1
+
+    def test_resnet_layer_count(self, rng):
+        model = resnet18(base_width=4, rng=rng)
+        # stem + 16 block convs + 3 shortcut projections = 20 convs
+        assert len(gemm_layers(model)) == 20
+
+    def test_forward_order(self, rng):
+        model = resnet18(base_width=4, rng=rng)
+        names = [n for n, _ in gemm_layers(model)]
+        assert names[0] == "stem.layers.0"
+
+
+class TestMagnitudePruning:
+    def test_mask_exact_fraction(self, rng):
+        w = rng.normal(size=(32, 32))
+        mask = magnitude_mask(w, 0.75)
+        assert mask.sum() == pytest.approx(0.25 * w.size, abs=1)
+
+    def test_mask_keeps_largest(self):
+        w = np.array([[0.1, -5.0, 0.2, 3.0]])
+        mask = magnitude_mask(w, 0.5)
+        assert np.array_equal(mask, [[False, True, False, True]])
+
+    def test_mask_zero_sparsity(self, rng):
+        w = rng.normal(size=(4, 4))
+        assert magnitude_mask(w, 0.0).all()
+
+    def test_mask_invalid(self, rng):
+        with pytest.raises(ValueError):
+            magnitude_mask(rng.normal(size=(2, 2)), 1.0)
+
+    def test_global_prune_hits_overall_target(self, rng):
+        model = MLP(16, (64, 64), 4, rng=rng)
+        global_magnitude_prune(model, 0.9)
+        assert sparsity_report(model).overall == pytest.approx(0.9, abs=0.01)
+
+    def test_global_prune_varies_per_layer(self, rng):
+        """Global threshold -> per-layer sparsity spread (Fig. 6's premise)."""
+        model = resnet18(base_width=8, rng=rng)
+        global_magnitude_prune(model, 0.9)
+        per_layer = list(sparsity_report(model).per_layer.values())
+        assert max(per_layer) - min(per_layer) > 0.02
+
+    def test_layerwise_prune_uniform(self, rng):
+        model = MLP(16, (32,), 4, rng=rng)
+        layerwise_magnitude_prune(model, 0.5)
+        for s in sparsity_report(model).per_layer.values():
+            assert s == pytest.approx(0.5, abs=0.02)
+
+    def test_apply_masks_rezeros(self, rng):
+        model = MLP(16, (32,), 4, rng=rng)
+        masks = global_magnitude_prune(model, 0.5)
+        # optimizer-like perturbation revives pruned weights
+        for _, layer in gemm_layers(model, include_head=True):
+            layer.weight.data += 0.01
+        apply_masks(model, masks)
+        assert sparsity_report(model).overall == pytest.approx(0.5, abs=0.02)
+
+    def test_mask_fn_composes_with_training(self, rng):
+        ds = synthetic_images(n_train=64, n_eval=16, size=8, seed=0)
+        model = MLP(192, (32,), 10, rng=rng)
+        masks, result = prune_and_finetune(
+            model, ds.x_train.reshape(64, -1), ds.y_train, sparsity=0.8, finetune_epochs=1
+        )
+        assert sparsity_report(model).overall == pytest.approx(0.8, abs=0.02)
+        assert result.epochs == 1
+
+
+class TestStructuredPruning:
+    def test_nm_prune_makes_legal(self, rng):
+        model = MLP(16, (32, 32), 4, rng=rng)
+        nm_prune(model, NMPattern(2, 4))
+        assert is_nm_pruned(model, NMPattern(2, 4))
+
+    def test_nm_prune_density(self, rng):
+        model = MLP(16, (32,), 4, rng=rng)
+        nm_prune(model, NMPattern(2, 4))
+        assert sparsity_report(model).overall == pytest.approx(0.5, abs=0.01)
+
+    def test_nm_prune_ragged_tail_kept(self, rng):
+        model = MLP(6, (8,), 2, rng=rng)  # K=6: one 4-block + ragged 2
+        nm_prune(model, NMPattern(2, 4))
+        w = dict(gemm_layers(model, include_head=True))["net.layers.0"].weight.data
+        assert np.count_nonzero(w[:, 4:]) == w[:, 4:].size  # tail untouched
+
+    def test_nm_prune_and_finetune_keeps_pattern(self, rng):
+        ds = synthetic_images(n_train=64, n_eval=16, size=8, seed=1)
+        model = MLP(192, (32,), 10, rng=rng)
+        nm_prune_and_finetune(model, ds.x_train.reshape(64, -1), ds.y_train,
+                              NMPattern(2, 4), finetune_epochs=1)
+        assert is_nm_pruned(model, NMPattern(2, 4))
+
+    def test_is_nm_pruned_detects_violation(self, rng):
+        model = MLP(16, (32,), 4, rng=rng)
+        assert not is_nm_pruned(model, NMPattern(1, 4))
+
+
+class TestProfiles:
+    def test_weight_profile_shape(self):
+        prof = weight_sparsity_profile(54, overall=0.95)
+        assert len(prof) == 54
+        assert prof[0] < prof[-1]  # first layer denser (Fig. 6)
+        assert prof.max() <= 0.995
+
+    def test_weight_profile_mean_near_overall(self):
+        prof = weight_sparsity_profile(54, overall=0.95)
+        assert abs(prof[10:].mean() - 0.95) < 0.04
+
+    def test_activation_profile_band(self):
+        prof = activation_sparsity_profile(54)
+        assert np.all((prof >= 0.05) & (prof <= 0.95))
+        assert 0.4 < prof.mean() < 0.75
+
+    def test_pseudo_profile_band(self):
+        prof = gelu_pseudo_density_profile(72)
+        assert np.all((prof >= 0.15) & (prof <= 0.9))
+
+    def test_profiles_deterministic(self):
+        assert np.array_equal(weight_sparsity_profile(10), weight_sparsity_profile(10))
+
+    def test_profile_invalid(self):
+        with pytest.raises(ValueError):
+            weight_sparsity_profile(0)

@@ -1,0 +1,221 @@
+"""Tests for the TASD-W / TASD-A searches and the Tasder framework."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.series import DENSE_CONFIG, TASDConfig
+from repro.nn import Adam, synthetic_images, train_classifier
+from repro.nn.models import MLP
+from repro.nn.train import evaluate_accuracy
+from repro.pruning import gemm_layers, global_magnitude_prune, prune_and_finetune
+from repro.tasder import (
+    QualityGate,
+    TTC_STC_M4,
+    TTC_VEGETA_M8,
+    Tasder,
+    activation_search,
+    calibrate,
+    candidate_drop_table,
+    collect_gemm_shapes,
+    evaluate_transform,
+    greedy_weight_search,
+    network_wise_weight_sweep,
+    select_activation_configs,
+    sparsity_based_weight_selection,
+    transform_compute_fraction,
+)
+from repro.tasder.transform import TASDTransform
+from repro.tasder.weight_search import weight_dropped_fraction
+
+
+@pytest.fixture(scope="module")
+def trained_sparse_mlp():
+    """A trained, 85 %-pruned MLP shared across search tests."""
+    ds = synthetic_images(n_train=256, n_eval=128, size=8, noise=0.5, seed=0)
+    model = MLP(192, (96, 96), 10, rng=np.random.default_rng(0))
+    x = ds.x_train.reshape(len(ds.x_train), -1)
+    train_classifier(model, x, ds.y_train, epochs=6, optimizer=Adam(model, lr=2e-3), seed=0)
+    prune_and_finetune(model, x, ds.y_train, sparsity=0.85, finetune_epochs=2)
+
+    class FlatDs:
+        x_train = x
+        y_train = ds.y_train
+        x_eval = ds.x_eval.reshape(len(ds.x_eval), -1)
+        y_eval = ds.y_eval
+        x_calib = ds.x_calib.reshape(len(ds.x_calib), -1)
+
+    return model, FlatDs()
+
+
+class TestQualityGate:
+    def test_accepts_at_threshold(self):
+        gate = QualityGate(0.90, threshold=0.99)
+        assert gate.accepts(0.891)
+        assert not gate.accepts(0.88)
+
+    def test_min_accuracy(self):
+        assert QualityGate(0.8).min_accuracy == pytest.approx(0.792)
+
+
+class TestDropTable:
+    def test_sorted_ascending(self, trained_sparse_mlp):
+        model, _ = trained_sparse_mlp
+        table = candidate_drop_table(model, TTC_VEGETA_M8)
+        drops = [row[0] for row in table]
+        assert drops == sorted(drops)
+
+    def test_covers_all_layer_config_pairs(self, trained_sparse_mlp):
+        model, _ = trained_sparse_mlp
+        table = candidate_drop_table(model, TTC_VEGETA_M8)
+        n_layers = len(gemm_layers(model))
+        n_configs = len(TTC_VEGETA_M8.configs(include_dense=False))
+        assert len(table) == n_layers * n_configs
+
+    def test_dropped_fraction_monotone_in_aggressiveness(self, trained_sparse_mlp):
+        model, _ = trained_sparse_mlp
+        w = gemm_layers(model)[0][1].weight_matrix()
+        d1 = weight_dropped_fraction(w, TASDConfig.parse("4:8"))
+        d2 = weight_dropped_fraction(w, TASDConfig.parse("2:8"))
+        d3 = weight_dropped_fraction(w, TASDConfig.parse("1:8"))
+        assert d1 <= d2 <= d3
+
+
+class TestGreedySearch:
+    def test_meets_gate(self, trained_sparse_mlp):
+        model, ds = trained_sparse_mlp
+        result = greedy_weight_search(model, TTC_VEGETA_M8, ds.x_eval, ds.y_eval, eval_every=4)
+        assert result.accuracy >= 0.99 * result.original_accuracy - 1e-9
+        assert result.applications > 0
+
+    def test_transform_restores_model(self, trained_sparse_mlp):
+        model, ds = trained_sparse_mlp
+        before = evaluate_accuracy(model, ds.x_eval, ds.y_eval)
+        greedy_weight_search(model, TTC_VEGETA_M8, ds.x_eval, ds.y_eval, eval_every=4)
+        assert evaluate_accuracy(model, ds.x_eval, ds.y_eval) == before
+
+    def test_configs_from_menu_only(self, trained_sparse_mlp):
+        model, ds = trained_sparse_mlp
+        result = greedy_weight_search(model, TTC_VEGETA_M8, ds.x_eval, ds.y_eval, eval_every=4)
+        menu_configs = set(TTC_VEGETA_M8.menu().values())
+        for cfg in result.transform.weight_configs.values():
+            assert cfg in menu_configs
+
+    def test_sparser_model_gets_more_aggressive_configs(self, rng):
+        """Extremely sparse layers should receive low-density configs."""
+        model = MLP(64, (64,), 4, rng=rng)
+        global_magnitude_prune(model, 0.97)
+        x = rng.normal(size=(64, 64))
+        y = rng.integers(0, 4, size=64)
+        result = greedy_weight_search(model, TTC_VEGETA_M8, x, y, threshold=0.0, eval_every=2)
+        densities = [c.density for c in result.transform.weight_configs.values()]
+        assert min(densities) <= 0.25
+
+    def test_gate_violation_rolls_back(self, rng):
+        """With an impossible threshold, nothing should be committed."""
+        model = MLP(16, (16,), 4, rng=rng)
+        x = rng.normal(size=(64, 16))
+        y = rng.integers(0, 4, size=64)
+        result = greedy_weight_search(model, TTC_STC_M4, x, y, threshold=1.5, eval_every=1)
+        assert result.transform.weight_configs == {}
+
+
+class TestSparsityBasedSelection:
+    def test_respects_layer_sparsity(self, trained_sparse_mlp):
+        model, _ = trained_sparse_mlp
+        transform = sparsity_based_weight_selection(model, TTC_VEGETA_M8, alpha=0.0)
+        for name, layer in gemm_layers(model):
+            w = layer.weight_matrix()
+            sparsity = 1.0 - np.count_nonzero(w) / w.size
+            cfg = transform.weight_configs[name]
+            assert cfg.approximated_sparsity < sparsity + 1e-9
+
+    def test_network_wise_sweep_returns_all(self, trained_sparse_mlp):
+        model, ds = trained_sparse_mlp
+        configs = [TASDConfig.single(n, 4) for n in (1, 2, 3, 4)]
+        results = network_wise_weight_sweep(model, configs, ds.x_eval, ds.y_eval)
+        assert len(results) == 4
+        # denser configs never hurt accuracy relative to the sparsest
+        accs = {str(c): a for c, a in results}
+        assert accs["4:4"] >= accs["1:4"]
+
+
+class TestActivationSearch:
+    def test_selection_uses_menu(self, trained_sparse_mlp):
+        model, ds = trained_sparse_mlp
+        calib = calibrate(model, ds.x_calib)
+        transform = select_activation_configs(calib, TTC_VEGETA_M8, alpha=0.1)
+        menu_configs = set(TTC_VEGETA_M8.menu().values())
+        assert transform.activation_configs
+        for cfg in transform.activation_configs.values():
+            assert cfg in menu_configs
+
+    def test_rejects_non_dynamic_hw(self, trained_sparse_mlp):
+        from repro.tasder import VEGETA_M8
+
+        model, ds = trained_sparse_mlp
+        calib = calibrate(model, ds.x_calib)
+        with pytest.raises(ValueError, match="TASD unit"):
+            select_activation_configs(calib, VEGETA_M8)
+
+    def test_skip_layers(self, trained_sparse_mlp):
+        model, ds = trained_sparse_mlp
+        names = [n for n, _ in gemm_layers(model)]
+        transform = activation_search(
+            model, TTC_VEGETA_M8, ds.x_calib, alpha=0.2, skip_layers=(names[0],)
+        )
+        assert names[0] not in transform.activation_configs
+
+
+class TestComputeAccounting:
+    def test_compute_fraction_dense_is_one(self, trained_sparse_mlp):
+        model, ds = trained_sparse_mlp
+        shapes = collect_gemm_shapes(model, ds.x_eval[:2])
+        assert transform_compute_fraction(TASDTransform(), shapes) == 1.0
+
+    def test_compute_fraction_weighted(self, trained_sparse_mlp):
+        model, ds = trained_sparse_mlp
+        shapes = collect_gemm_shapes(model, ds.x_eval[:2])
+        names = list(shapes)
+        transform = TASDTransform(
+            weight_configs={n: TASDConfig.parse("2:8") for n in names}
+        )
+        assert transform_compute_fraction(transform, shapes) == pytest.approx(0.25)
+
+    def test_collect_shapes_per_sample(self, trained_sparse_mlp):
+        model, ds = trained_sparse_mlp
+        shapes = collect_gemm_shapes(model, ds.x_eval[:4])
+        for gs in shapes.values():
+            assert gs.m == 1  # MLP: one row per sample
+
+
+class TestTasderFramework:
+    def test_optimize_weights_end_to_end(self, trained_sparse_mlp):
+        model, ds = trained_sparse_mlp
+        tasder = Tasder(model, ds, TTC_VEGETA_M8)
+        result = tasder.optimize_weights(eval_every=4)
+        assert result.mac_reduction > 0.3
+        assert result.accuracy_retention >= 0.99 - 1e-9
+
+    def test_optimize_activations_end_to_end(self, trained_sparse_mlp):
+        model, ds = trained_sparse_mlp
+        tasder = Tasder(model, ds, TTC_VEGETA_M8, alpha=0.1)
+        result = tasder.optimize_activations()
+        assert 0.0 <= result.compute_fraction <= 1.0
+
+    def test_unknown_method(self, trained_sparse_mlp):
+        model, ds = trained_sparse_mlp
+        with pytest.raises(ValueError):
+            Tasder(model, ds, TTC_VEGETA_M8).optimize_weights(method="magic")
+
+    def test_apply_installs_transform(self, trained_sparse_mlp):
+        model, ds = trained_sparse_mlp
+        tasder = Tasder(model, ds, TTC_VEGETA_M8)
+        result = tasder.optimize_weights(eval_every=4)
+        tasder.apply(result.transform)
+        acc = evaluate_accuracy(model, ds.x_eval, ds.y_eval)
+        assert acc == pytest.approx(result.transformed_accuracy)
+        from repro.tasder import clear_transform
+
+        clear_transform(model)

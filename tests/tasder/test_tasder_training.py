@@ -1,0 +1,83 @@
+"""Tests for training-time TASD (gradient compression, Section 6.2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.patterns import NMPattern, is_pattern_legal
+from repro.core.series import DENSE_CONFIG, TASDConfig
+from repro.nn import cross_entropy, synthetic_images
+from repro.nn.models import MLP
+from repro.pruning import gemm_layers
+from repro.tasder.training import GradientTASD, train_with_tasd_gradients
+
+
+@pytest.fixture
+def model_and_batch(rng):
+    ds = synthetic_images(n_train=64, n_eval=16, size=8, seed=4)
+    model = MLP(192, (64,), 10, rng=rng)
+    x = ds.x_train.reshape(64, -1)
+    return model, x, ds.y_train
+
+
+class TestGradientTASD:
+    def test_rejects_dense_config(self, model_and_batch):
+        model, _, _ = model_and_batch
+        with pytest.raises(ValueError):
+            GradientTASD(model, DENSE_CONFIG)
+
+    def test_compressed_grads_are_structured(self, model_and_batch):
+        model, x, y = model_and_batch
+        compressor = GradientTASD(model, TASDConfig.parse("2:8"))
+        loss, d = cross_entropy(model(x), y)
+        model.zero_grad()
+        model.backward(d)
+        compressor.compress()
+        for _, layer in gemm_layers(model):
+            g = layer.weight.grad
+            usable = (g.shape[-1] // 8) * 8
+            assert is_pattern_legal(g[:, :usable], NMPattern(2, 8), axis=-1)
+
+    def test_error_bounded_and_reported(self, model_and_batch):
+        model, x, y = model_and_batch
+        compressor = GradientTASD(model, TASDConfig.parse("4:8+2:8"))
+        loss, d = cross_entropy(model(x), y)
+        model.zero_grad()
+        model.backward(d)
+        err = compressor.compress()
+        assert 0.0 <= err < 1.0
+        assert compressor.compressed_steps == 1
+
+    def test_more_terms_less_error(self, model_and_batch):
+        model, x, y = model_and_batch
+        errors = {}
+        for text in ("2:8", "4:8", "4:8+2:8"):
+            loss, d = cross_entropy(model(x), y)
+            model.zero_grad()
+            model.backward(d)
+            errors[text] = GradientTASD(model, TASDConfig.parse(text)).compress()
+        assert errors["4:8+2:8"] < errors["4:8"] < errors["2:8"]
+
+
+class TestTrainingLoop:
+    def test_model_still_learns_with_compressed_gradients(self, rng):
+        ds = synthetic_images(n_train=128, n_eval=32, size=8, noise=0.4, seed=5)
+        model = MLP(192, (64,), 10, rng=rng)
+        x = ds.x_train.reshape(128, -1)
+        result = train_with_tasd_gradients(
+            model, x, ds.y_train, TASDConfig.parse("4:8+2:8"), epochs=6, lr=2e-3
+        )
+        assert result.final_accuracy > 0.6
+        assert result.losses[-1] < result.losses[0]
+        assert result.compute_density == pytest.approx(0.75)
+
+    def test_gradient_error_tracked_every_step(self, rng):
+        ds = synthetic_images(n_train=64, n_eval=16, size=8, seed=6)
+        model = MLP(192, (32,), 10, rng=rng)
+        x = ds.x_train.reshape(64, -1)
+        result = train_with_tasd_gradients(
+            model, x, ds.y_train, TASDConfig.parse("2:8"), epochs=2, batch_size=32
+        )
+        assert len(result.gradient_errors) == len(result.losses)
+        assert result.mean_gradient_error > 0.0

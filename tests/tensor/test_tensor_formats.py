@@ -1,0 +1,75 @@
+"""Tests for unstructured sparse storage formats (repro.tensor.formats)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.tensor.formats import (
+    best_format,
+    bitmap_decode,
+    bitmap_encode,
+    coo_decode,
+    coo_encode,
+    csr_decode,
+    csr_encode,
+    format_bits,
+)
+from repro.tensor.random import sparse_normal
+
+
+@pytest.mark.parametrize("density", [0.0, 0.05, 0.5, 1.0])
+@pytest.mark.parametrize(
+    "encode,decode",
+    [(csr_encode, csr_decode), (bitmap_encode, bitmap_decode), (coo_encode, coo_decode)],
+)
+def test_roundtrip_exact(density, encode, decode):
+    x = sparse_normal((16, 32), density=density, seed=3)
+    assert np.array_equal(decode(encode(x)), x)
+
+
+class TestSizeModels:
+    def test_dense_matrix_compresses_badly(self):
+        x = sparse_normal((32, 64), density=1.0, seed=0)
+        sizes = format_bits(x)
+        assert sizes["csr"] > sizes["dense"]
+        assert sizes["coo"] > sizes["dense"]
+
+    def test_sparse_matrix_compresses_well(self):
+        x = sparse_normal((32, 64), density=0.05, seed=0)
+        name, ratio = best_format(x)
+        assert ratio < 0.25
+
+    def test_bitmap_wins_at_moderate_density(self):
+        """Around 50 % density the bitmap beats index-based formats."""
+        x = sparse_normal((64, 64), density=0.5, seed=1)
+        sizes = format_bits(x)
+        assert sizes["bitmap"] < sizes["csr"]
+        assert sizes["bitmap"] < sizes["coo"]
+
+    def test_dstc_metadata_factor_is_fair(self):
+        """The DSTC model's 1.5x-of-kept-values traffic factor should be a
+        reasonable summary of the real formats at workload densities."""
+        for density in (0.05, 0.3, 0.5):
+            x = sparse_normal((64, 128), density=density, seed=2)
+            kept_bits = np.count_nonzero(x) * 16
+            _, ratio = best_format(x)
+            actual_factor = ratio * x.size * 16 / max(1, kept_bits)
+            assert 1.0 <= actual_factor < 2.4
+
+    def test_empty_matrix(self):
+        x = np.zeros((4, 8))
+        for encode, decode in (
+            (csr_encode, csr_decode), (bitmap_encode, bitmap_decode), (coo_encode, coo_decode)
+        ):
+            assert np.array_equal(decode(encode(x)), x)
+
+
+@given(st.integers(min_value=0, max_value=2**31 - 1), st.floats(min_value=0.0, max_value=1.0))
+def test_property_all_formats_roundtrip(seed, density):
+    x = sparse_normal((8, 16), density=density, seed=seed)
+    assert np.array_equal(csr_decode(csr_encode(x)), x)
+    assert np.array_equal(bitmap_decode(bitmap_encode(x)), x)
+    assert np.array_equal(coo_decode(coo_encode(x)), x)

@@ -1,0 +1,162 @@
+"""Tests for the sparse tensor substrate (repro.tensor)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.patterns import NMPattern, is_pattern_legal, pattern_view
+from repro.tensor import (
+    activation_like,
+    blocks_along_axis,
+    collect_stats,
+    crop_to_shape,
+    pad_to_multiple,
+    per_block_nnz_histogram,
+    pseudo_density,
+    random_nm_legal,
+    sparse_matrix,
+    sparse_normal,
+    sparse_uniform,
+)
+
+
+class TestBlocks:
+    def test_pad_noop_when_aligned(self, rng):
+        x = rng.normal(size=(3, 8))
+        assert pad_to_multiple(x, 4) is x
+
+    def test_pad_and_crop_roundtrip(self, rng):
+        x = rng.normal(size=(3, 7))
+        padded = pad_to_multiple(x, 4)
+        assert padded.shape == (3, 8)
+        assert np.array_equal(crop_to_shape(padded, x.shape), x)
+
+    def test_pad_other_axis(self, rng):
+        x = rng.normal(size=(5, 3))
+        assert pad_to_multiple(x, 4, axis=0).shape == (8, 3)
+
+    def test_padding_preserves_views(self, rng):
+        """Zero padding must never change which elements a view keeps."""
+        x = rng.normal(size=(4, 12))
+        p = NMPattern(2, 8)
+        padded_view = pattern_view(pad_to_multiple(x, 8), p)
+        assert np.array_equal(crop_to_shape(padded_view, x.shape)[:, :8], pattern_view(x[:, :8], p))
+
+    def test_blocks_along_axis(self):
+        assert blocks_along_axis(16, 4) == 4
+        assert blocks_along_axis(17, 4) == 5
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            pad_to_multiple(np.zeros((2, 2)), 0)
+        with pytest.raises(ValueError):
+            blocks_along_axis(4, 0)
+        with pytest.raises(ValueError):
+            crop_to_shape(np.zeros((2, 2)), (2,))
+
+
+class TestRandomGenerators:
+    @pytest.mark.parametrize("d", [0.1, 0.5, 0.9])
+    def test_density_approximate(self, d):
+        x = sparse_uniform((200, 200), density=d, seed=0)
+        measured = np.count_nonzero(x) / x.size
+        assert measured == pytest.approx(d, abs=0.02)
+
+    def test_normal_distribution_params(self):
+        x = sparse_normal((500, 500), density=1.0, std=1 / 3, seed=1)
+        assert np.std(x) == pytest.approx(1 / 3, abs=0.01)
+
+    def test_sparse_matrix_dispatch(self):
+        assert sparse_matrix(8, 8, 0.5, "uniform", seed=0).shape == (8, 8)
+        assert sparse_matrix(8, 8, 0.5, "normal", seed=0).shape == (8, 8)
+        with pytest.raises(ValueError):
+            sparse_matrix(8, 8, 0.5, "cauchy", seed=0)
+
+    def test_invalid_density(self):
+        with pytest.raises(ValueError):
+            sparse_uniform((4, 4), density=1.5)
+
+    def test_random_nm_legal_exact(self, rng):
+        x = random_nm_legal(16, 64, 2, 4, seed=rng)
+        assert is_pattern_legal(x, NMPattern(2, 4))
+        # exactly n non-zeros per block
+        blocks = x.reshape(16, 16, 4)
+        assert np.all(np.count_nonzero(blocks, axis=-1) == 2)
+
+    def test_random_nm_legal_bad_cols(self):
+        with pytest.raises(ValueError):
+            random_nm_legal(4, 10, 2, 4)
+
+    def test_activation_like_relu_sparsity(self):
+        x = activation_like((100, 100), kind="relu", seed=0)
+        assert 0.45 < (1 - np.count_nonzero(x) / x.size) < 0.55
+        assert np.all(x >= 0)
+
+    def test_activation_like_gelu_dense(self):
+        x = activation_like((100, 100), kind="gelu", seed=0)
+        assert np.count_nonzero(x) / x.size > 0.99
+
+    def test_activation_like_unknown(self):
+        with pytest.raises(ValueError):
+            activation_like((4, 4), kind="step")
+
+    def test_determinism(self):
+        a = sparse_uniform((16, 16), 0.5, seed=7)
+        b = sparse_uniform((16, 16), 0.5, seed=7)
+        assert np.array_equal(a, b)
+
+
+class TestStats:
+    def test_collect_stats_basic(self):
+        x = np.array([[1.0, 0.0, -2.0, 0.0]])
+        s = collect_stats(x)
+        assert s.nnz == 2
+        assert s.sparsity == 0.5
+        assert s.max_abs == 2.0
+        assert s.magnitude_sum == 3.0
+
+    def test_pseudo_density_uniform_magnitudes(self):
+        """Equal magnitudes: need ≈ target fraction of elements."""
+        x = np.ones(1000)
+        assert pseudo_density(x, 0.99) == pytest.approx(0.99, abs=0.01)
+
+    def test_pseudo_density_skewed(self):
+        """One huge value dominating: tiny pseudo-density."""
+        x = np.concatenate([[1e6], np.full(999, 1e-3)])
+        assert pseudo_density(x, 0.99) < 0.01
+
+    def test_pseudo_density_zero_tensor(self):
+        assert pseudo_density(np.zeros(10)) == 0.0
+
+    def test_pseudo_density_invalid_target(self):
+        with pytest.raises(ValueError):
+            pseudo_density(np.ones(4), 0.0)
+
+    def test_gelu_pseudo_density_below_one(self):
+        """The Section 4.3 premise: GELU tensors are dense (density ≈ 1)
+        yet their pseudo-density sits meaningfully below 1 — the magnitude
+        skew the TASD-A heuristic exploits."""
+        x = activation_like((200, 200), kind="gelu", seed=3)
+        real_density = np.count_nonzero(x) / x.size
+        assert real_density > 0.99
+        pd = pseudo_density(x, 0.99)
+        assert pd < 0.92
+        # lower preservation targets expose the skew much more strongly
+        assert pseudo_density(x, 0.90) < 0.60
+
+    def test_histogram_matches_binomial_mean(self):
+        x = sparse_uniform((100, 400), density=0.5, seed=0)
+        hist = per_block_nnz_histogram(x, m=8)
+        assert hist.sum() == 100 * 50
+        mean_nnz = np.average(np.arange(9), weights=hist)
+        assert mean_nnz == pytest.approx(4.0, abs=0.1)
+
+
+@given(st.floats(min_value=0.05, max_value=0.95), st.integers(min_value=0, max_value=2**31 - 1))
+def test_property_pseudo_density_bounds(target, seed):
+    x = np.random.default_rng(seed).normal(size=200)
+    pd = pseudo_density(x, max(0.01, min(1.0, target)))
+    assert 0.0 < pd <= 1.0

@@ -1,0 +1,95 @@
+"""End-to-end integration: the paper's full pipeline on one small model.
+
+Train → prune (unstructured) → TASDER (TASD-W greedy + TASD-A calibrated)
+→ apply transforms → verify accuracy gate → map per-layer configs onto the
+analytical accelerator → confirm the EDP story end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.series import DENSE_CONFIG
+from repro.hw import LayerSpec, build_model
+from repro.nn import Adam, evaluate_accuracy, synthetic_images, train_classifier
+from repro.nn.models import resnet18
+from repro.pruning import gemm_layers, prune_and_finetune, sparsity_report
+from repro.tasder import TTC_VEGETA_M8, Tasder, clear_transform, collect_gemm_shapes
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    dataset = synthetic_images(n_train=384, n_eval=192, size=16, noise=0.6, seed=0)
+    model = resnet18(base_width=8, rng=np.random.default_rng(0))
+    train_classifier(
+        model, dataset.x_train, dataset.y_train, epochs=4,
+        optimizer=Adam(model, lr=2e-3), seed=0,
+    )
+    dense_accuracy = evaluate_accuracy(model, dataset.x_eval, dataset.y_eval)
+    prune_and_finetune(model, dataset.x_train, dataset.y_train, sparsity=0.9, finetune_epochs=2)
+    return model, dataset, dense_accuracy
+
+
+class TestFullPipeline:
+    def test_pruning_reaches_target_and_keeps_accuracy(self, pipeline):
+        model, dataset, dense_accuracy = pipeline
+        report = sparsity_report(model)
+        assert report.overall == pytest.approx(0.9, abs=0.01)
+        sparse_accuracy = evaluate_accuracy(model, dataset.x_eval, dataset.y_eval)
+        assert sparse_accuracy >= 0.9 * dense_accuracy
+
+    def test_tasdw_meets_gate_and_saves_compute(self, pipeline):
+        model, dataset, _ = pipeline
+        result = Tasder(model, dataset, TTC_VEGETA_M8).optimize_weights(eval_every=6)
+        assert result.accuracy_retention >= 0.99 - 1e-9
+        assert result.mac_reduction > 0.4  # the Fig. 20 band for 90 % sparse CNNs
+        # every selected config is executable on the target hardware
+        menu = set(TTC_VEGETA_M8.menu().values())
+        for cfg in result.transform.weight_configs.values():
+            assert cfg in menu
+
+    def test_tasda_is_more_conservative_than_tasdw(self, pipeline):
+        """Fig. 14's asymmetry: activations tolerate less approximation."""
+        model, dataset, _ = pipeline
+        w = Tasder(model, dataset, TTC_VEGETA_M8).optimize_weights(eval_every=6)
+        a = Tasder(model, dataset, TTC_VEGETA_M8, alpha=0.0).optimize_activations()
+        assert a.compute_fraction >= w.compute_fraction - 0.05
+
+    def test_transform_to_accelerator_end_to_end(self, pipeline):
+        """Per-layer configs found on the real model drive the HW model."""
+        model, dataset, _ = pipeline
+        result = Tasder(model, dataset, TTC_VEGETA_M8).optimize_weights(eval_every=6)
+        shapes = collect_gemm_shapes(model, dataset.x_eval[:2])
+        ttc = build_model("TTC-VEGETA-M8")
+        tc = build_model("TC")
+
+        def specs(with_configs: bool):
+            out = []
+            for name, layer in gemm_layers(model):
+                gs = shapes[name]
+                w = layer.weight_matrix()
+                cfg = result.transform.weight_configs.get(name, DENSE_CONFIG)
+                out.append(
+                    LayerSpec(
+                        name=name, m=gs.n, k=gs.k, n=gs.m,
+                        a_density=np.count_nonzero(w) / w.size,
+                        b_density=0.5,
+                        a_config=cfg if with_configs else DENSE_CONFIG,
+                    )
+                )
+            return out
+
+        baseline = tc.model.run_network(specs(with_configs=False))
+        accelerated = ttc.model.run_network(specs(with_configs=True))
+        edp = accelerated.edp / baseline.edp
+        assert edp < 0.7  # TASD-W on a 90 % sparse CNN must pay off clearly
+
+    def test_clear_transform_restores_exactly(self, pipeline):
+        model, dataset, _ = pipeline
+        before = evaluate_accuracy(model, dataset.x_eval, dataset.y_eval)
+        tasder = Tasder(model, dataset, TTC_VEGETA_M8)
+        result = tasder.optimize_weights(eval_every=6)
+        tasder.apply(result.transform)
+        clear_transform(model)
+        assert evaluate_accuracy(model, dataset.x_eval, dataset.y_eval) == before

@@ -1,0 +1,157 @@
+"""Tests for full-size layer shapes and the evaluation workload suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.analysis import series_expected_dropped_fraction
+from repro.hw import build_model
+from repro.workloads import (
+    PAPER_WORKLOADS,
+    bert_layers,
+    build_layer_specs,
+    convnext_layers,
+    dense_bert,
+    dense_resnet50,
+    representative_layers,
+    resnet_layers,
+    select_config_by_drop_cap,
+    sparse_bert,
+    sparse_resnet50,
+    vgg_layers,
+    vit_layers,
+)
+from repro.tasder.config import TTC_VEGETA_M8, TTC_STC_M4
+
+
+class TestShapes:
+    def test_resnet50_macs_match_published(self):
+        """Full ResNet-50 @224 is ~4.1 GMACs — the published number."""
+        total = sum(l.macs for l in resnet_layers(50))
+        assert total == pytest.approx(4.1e9, rel=0.05)
+
+    def test_resnet18_macs(self):
+        total = sum(l.macs for l in resnet_layers(18))
+        assert total == pytest.approx(1.8e9, rel=0.1)
+
+    def test_table4_resnet_layers_exist(self):
+        shapes = {(l.spatial, l.reduction, l.out_features) for l in resnet_layers(50)}
+        assert (784, 1152, 128) in shapes  # L1
+        assert (3136, 576, 64) in shapes  # L2
+        assert (196, 2304, 256) in shapes  # L3
+
+    def test_table4_bert_layers_exist(self):
+        shapes = {(l.spatial, l.reduction, l.out_features) for l in bert_layers()}
+        assert (128, 768, 768) in shapes
+        assert (128, 768, 3072) in shapes
+        assert (128, 3072, 768) in shapes
+
+    def test_bert_base_param_count(self):
+        """Encoder FC weights of BERT-base: ~85M parameters."""
+        total = sum(l.weight_size for l in bert_layers())
+        assert total == pytest.approx(85e6, rel=0.02)
+
+    def test_vgg16_conv_count(self):
+        convs = [l for l in vgg_layers(16) if l.kind == "conv"]
+        assert len(convs) == 13
+
+    def test_vit_b16_token_count(self):
+        layers = vit_layers()
+        assert layers[0].spatial == 196  # 14x14 patches
+
+    def test_convnext_tiny_block_structure(self):
+        layers = convnext_layers()
+        pw = [l for l in layers if ".pw" in l.name]
+        assert len(pw) == 2 * (3 + 3 + 9 + 3)
+
+    def test_batch_scales_spatial(self):
+        b1 = resnet_layers(50, batch=1)
+        b4 = resnet_layers(50, batch=4)
+        assert b4[0].spatial == 4 * b1[0].spatial
+
+    def test_unknown_depth(self):
+        with pytest.raises(ValueError):
+            resnet_layers(77)
+
+
+class TestWorkloads:
+    def test_four_workloads(self):
+        wls = PAPER_WORKLOADS()
+        assert [w.name for w in wls] == [
+            "Dense ResNet50", "Dense BERT", "Sparse ResNet50", "Sparse BERT",
+        ]
+
+    def test_tasd_side_assignment(self):
+        assert dense_resnet50().tasd_side == "activations"
+        assert sparse_resnet50().tasd_side == "weights"
+        assert sparse_bert().tasd_side == "weights"
+
+    def test_sparse_rn50_weight_density_profile(self):
+        wl = sparse_resnet50()
+        densities = [l.weight_density for l in wl.layers]
+        assert densities[0] > densities[-1]  # first layer denser
+        assert min(densities) > 0.0
+
+    def test_gelu_workloads_have_dense_real_activations(self):
+        """GELU nets: real zero-density 1.0, selection stat well below."""
+        for wl in (dense_bert(), sparse_bert()):
+            for l in wl.layers:
+                assert l.activation_density == 1.0
+                assert l.stat_density < 1.0
+
+    def test_relu_workload_stat_equals_real(self):
+        for l in dense_resnet50().layers:
+            assert l.stat_density == l.activation_density
+
+    def test_representative_layers_found(self):
+        for wl in PAPER_WORKLOADS():
+            reps = representative_layers(wl)
+            assert set(reps) == {"L1", "L2", "L3"}
+
+
+class TestConfigSelection:
+    def test_drop_cap_honoured(self):
+        for d in (0.05, 0.2, 0.5):
+            cfg = select_config_by_drop_cap(d, TTC_VEGETA_M8, drop_cap=0.05)
+            assert series_expected_dropped_fraction(d, cfg) <= 0.05 + 1e-12
+
+    def test_sparser_layers_get_lower_density(self):
+        sparse_cfg = select_config_by_drop_cap(0.05, TTC_VEGETA_M8, 0.05)
+        dense_cfg = select_config_by_drop_cap(0.6, TTC_VEGETA_M8, 0.05)
+        assert sparse_cfg.density < dense_cfg.density
+
+    def test_tight_cap_falls_back_to_dense(self):
+        cfg = select_config_by_drop_cap(0.9, TTC_STC_M4, drop_cap=0.001)
+        assert cfg.is_dense
+
+    def test_build_specs_orientation(self):
+        wl_w = sparse_resnet50()
+        ttc = build_model("TTC-VEGETA-M8")
+        specs_w = build_layer_specs(wl_w, ttc)
+        l0 = wl_w.layers[0]
+        assert specs_w[0].m == l0.shape.out_features  # weights-as-A
+        assert not specs_w[0].a_dynamic
+
+        wl_a = dense_resnet50()
+        specs_a = build_layer_specs(wl_a, ttc)
+        assert specs_a[0].m == wl_a.layers[0].shape.spatial  # activations-as-A
+        assert specs_a[0].a_dynamic
+
+    def test_no_tasder_means_dense_configs(self):
+        specs = build_layer_specs(sparse_resnet50(), build_model("VEGETA"), use_tasder=False)
+        assert all(s.a_config.is_dense for s in specs)
+
+    def test_non_dynamic_hw_cannot_tasd_activations(self):
+        specs = build_layer_specs(dense_resnet50(), build_model("VEGETA"))
+        assert all(s.a_config.is_dense for s in specs)
+
+    def test_native_only_restricts_terms(self):
+        specs = build_layer_specs(sparse_resnet50(), build_model("TTC-VEGETA-M8"), native_only=True)
+        assert all(s.a_config.order <= 1 for s in specs)
+
+    def test_dstc_and_tc_get_raw_densities(self):
+        specs = build_layer_specs(sparse_resnet50(), build_model("DSTC"))
+        wl = sparse_resnet50()
+        assert specs[0].a_density == wl.layers[0].weight_density
+        assert all(s.a_config.is_dense for s in specs)
