@@ -1,0 +1,49 @@
+"""Compile once, serve many: the TASD inference runtime quickstart.
+
+A sparse ResNet-18's weights are decomposed and compressed into structured
+N:M operands exactly once, at plan-build time; every request after that
+runs only the structured sparse GEMMs.  The serving engine coalesces
+concurrent requests into micro-batches and reports per-request latency.
+
+Run:  python examples/serve_resnet.py
+"""
+
+import numpy as np
+
+from repro.core import TASDConfig
+from repro.nn.models.resnet import resnet18
+from repro.pruning.magnitude import global_magnitude_prune
+from repro.pruning.targets import gemm_layers
+from repro.runtime import OperandCache, PlanExecutor, ServingEngine, compile_plan
+from repro.tasder.transform import TASDTransform
+
+# ---------------------------------------------------------------------------
+# 1. A sparse model and its TASD transform (here: uniform 2:4 weights; in
+#    production this comes from Tasder.optimize_weights(...).transform).
+# ---------------------------------------------------------------------------
+model = resnet18(num_classes=10, base_width=16)
+global_magnitude_prune(model, sparsity=0.6)
+transform = TASDTransform(
+    weight_configs={name: TASDConfig.parse("2:4") for name, _ in gemm_layers(model)}
+)
+
+# ---------------------------------------------------------------------------
+# 2. Compile: weights decompose + compress exactly once, into the cache.
+#    (Tasder.compile(result) does the same from a search result.)
+# ---------------------------------------------------------------------------
+cache = OperandCache(capacity=64)
+plan = compile_plan(model, transform, cache=cache)
+print(plan.summary(), "\n")
+
+# ---------------------------------------------------------------------------
+# 3. Serve: submit concurrent requests; the engine micro-batches them.
+# ---------------------------------------------------------------------------
+rng = np.random.default_rng(0)
+with PlanExecutor(model, plan) as executor:
+    with ServingEngine(executor, max_batch=4, batch_window=0.002) as engine:
+        futures = [engine.submit(rng.normal(size=(1, 3, 8, 8))) for _ in range(16)]
+        outputs = [f.result(timeout=120.0) for f in futures]
+    print(engine.report().summary(), "\n")
+    print(executor.stats().table())
+
+assert all(out.shape == (1, 10) for out in outputs)

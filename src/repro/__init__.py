@@ -12,6 +12,8 @@ Public API highlights
   (the real-system substitute).
 - :mod:`repro.workloads` — full-size layer shapes and evaluation workloads.
 - :mod:`repro.experiments` — one driver per paper table/figure.
+- :mod:`repro.runtime` — inference runtime: compiled execution plans,
+  compressed-operand cache, batched executor, micro-batching serving engine.
 """
 
 from .core import (

@@ -1,4 +1,4 @@
-"""Command-line interface: regenerate any paper table/figure from a shell.
+"""Command-line interface: regenerate paper tables/figures, or run the runtime.
 
 Usage::
 
@@ -7,6 +7,9 @@ Usage::
     python -m repro.cli table2               # the TTC-VEGETA pattern menu
     python -m repro.cli fig16 --batch 64     # the GPU sweep at batch 64
     python -m repro.cli all                  # everything (trains the zoo)
+
+    python -m repro.cli compile --config 2:4          # build an execution plan
+    python -m repro.cli serve --requests 32 --max-batch 8   # serving demo
 """
 
 from __future__ import annotations
@@ -74,6 +77,52 @@ def _fig20(args: argparse.Namespace) -> str:
     return fig20_model_zoo.run().table()
 
 
+def _runtime_model(args: argparse.Namespace):
+    """A pruned ResNet-18 + uniform transform for the runtime commands."""
+    from repro.core import TASDConfig
+    from repro.nn.models.resnet import resnet18
+    from repro.pruning.magnitude import global_magnitude_prune
+    from repro.pruning.targets import gemm_layers
+    from repro.tasder.transform import TASDTransform
+
+    model = resnet18(num_classes=10, base_width=16)
+    global_magnitude_prune(model, args.sparsity)
+    config = TASDConfig.parse(args.config)
+    transform = TASDTransform(
+        weight_configs={name: config for name, _ in gemm_layers(model)}
+    )
+    return model, transform
+
+
+def _compile(args: argparse.Namespace) -> str:
+    from repro.runtime import compile_plan
+
+    model, transform = _runtime_model(args)
+    plan = compile_plan(model, transform)
+    return plan.summary()
+
+
+def _serve(args: argparse.Namespace) -> str:
+    import numpy as np
+
+    from repro.runtime import PlanExecutor, ServingEngine, compile_plan
+
+    model, transform = _runtime_model(args)
+    plan = compile_plan(model, transform)
+    rng = np.random.default_rng(0)
+    requests = [rng.normal(size=(args.batch, 3, 8, 8)) for _ in range(args.requests)]
+    with PlanExecutor(model, plan) as executor:
+        with ServingEngine(
+            executor, max_batch=args.max_batch, batch_window=args.window
+        ) as engine:
+            futures = [engine.submit(x) for x in requests]
+            for f in futures:
+                f.result(timeout=120.0)
+        report = engine.report()
+        stats = executor.stats()
+    return "\n\n".join([plan.summary(), stats.table(), report.summary()])
+
+
 def _table(n: int) -> Callable[[argparse.Namespace], str]:
     def runner(args: argparse.Namespace) -> str:
         from repro.experiments import tables
@@ -99,6 +148,13 @@ COMMANDS: dict[str, tuple[Callable[[argparse.Namespace], str], str]] = {
     "fig20": (_fig20, "model-zoo MAC reductions [trains models]"),
 }
 
+# Runtime subcommands: not part of "all" (they demo the serving system, not
+# a paper figure).
+RUNTIME_COMMANDS: dict[str, tuple[Callable[[argparse.Namespace], str], str]] = {
+    "compile": (_compile, "compile a TASD execution plan for a sparse ResNet-18"),
+    "serve": (_serve, "micro-batched serving demo over a compiled plan"),
+}
+
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
@@ -106,13 +162,28 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        help="one of: list, all, " + ", ".join(COMMANDS),
+        help="one of: list, all, " + ", ".join(list(COMMANDS) + list(RUNTIME_COMMANDS)),
     )
     parser.add_argument("--batch", type=int, default=1, help="batch size where applicable")
+    parser.add_argument(
+        "--config", default="2:4", help="TASD series for runtime commands (e.g. 2:4+1:4)"
+    )
+    parser.add_argument(
+        "--sparsity", type=float, default=0.6, help="magnitude-pruning sparsity (runtime)"
+    )
+    parser.add_argument(
+        "--requests", type=int, default=16, help="number of requests to serve (serve)"
+    )
+    parser.add_argument(
+        "--max-batch", type=int, default=4, help="micro-batch size cap (serve)"
+    )
+    parser.add_argument(
+        "--window", type=float, default=0.002, help="micro-batching window in seconds (serve)"
+    )
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
-        for name, (_, desc) in COMMANDS.items():
+        for name, (_, desc) in {**COMMANDS, **RUNTIME_COMMANDS}.items():
             print(f"{name:8s} {desc}")
         return 0
     if args.experiment == "all":
@@ -120,9 +191,10 @@ def main(argv: list[str] | None = None) -> int:
             print(f"\n================ {name} ================")
             print(runner(args))
         return 0
-    if args.experiment not in COMMANDS:
+    dispatch = {**COMMANDS, **RUNTIME_COMMANDS}
+    if args.experiment not in dispatch:
         parser.error(f"unknown experiment {args.experiment!r}; try 'list'")
-    print(COMMANDS[args.experiment][0](args))
+    print(dispatch[args.experiment][0](args))
     return 0
 
 

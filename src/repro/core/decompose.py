@@ -9,7 +9,7 @@ error carried entirely by the final residual.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Iterable, Optional, Sequence
 
 import numpy as np
 
@@ -54,7 +54,10 @@ class Decomposition:
 
     original: np.ndarray
     terms: list[TASDTerm] = field(default_factory=list)
-    residual: np.ndarray = None  # type: ignore[assignment]
+    # Declared Optional because the true default ("a fresh copy of the
+    # original") depends on another field; __post_init__ resolves it, so
+    # consumers always observe an ndarray.
+    residual: Optional[np.ndarray] = field(default=None)
     axis: int = -1
 
     def __post_init__(self) -> None:
@@ -70,6 +73,11 @@ class Decomposition:
     @property
     def patterns(self) -> tuple[NMPattern, ...]:
         return tuple(t.pattern for t in self.terms)
+
+    @property
+    def total_nnz(self) -> int:
+        """Non-zeros covered by the series terms (the MACs a TASD unit runs)."""
+        return sum(t.nnz for t in self.terms)
 
     def reconstruct(self) -> np.ndarray:
         """The approximation ``Σ Ai`` (excludes the residual)."""

@@ -67,6 +67,15 @@ class TASDConfig:
         return 1.0 - self.density
 
     @property
+    def block_lcm(self) -> int:
+        """Least common multiple of the series' block sizes.
+
+        The padding granule: a tensor axis zero-padded to a multiple of this
+        is block-aligned for every term of the series.
+        """
+        return int(np.lcm.reduce([p.m for p in self.patterns])) if self.patterns else 1
+
+    @property
     def effective_pattern(self) -> NMPattern | None:
         """The single N:M pattern this series is exactly equivalent to, if any.
 

@@ -21,7 +21,15 @@ from .decompose import Decomposition
 from .patterns import NMPattern, block_view, is_pattern_legal, pattern_view
 from .series import TASDConfig
 
-__all__ = ["CompressedNM", "nm_compress", "nm_decompress", "nm_matmul", "tasd_matmul"]
+__all__ = [
+    "CompressedNM",
+    "nm_compress",
+    "nm_decompress",
+    "nm_gather_tables",
+    "nm_matmul",
+    "nm_matmul_from_tables",
+    "tasd_matmul",
+]
 
 
 @dataclass(frozen=True)
@@ -77,16 +85,49 @@ def nm_compress(a: np.ndarray, pattern: NMPattern) -> CompressedNM:
 def nm_decompress(c: CompressedNM) -> np.ndarray:
     """Expand compressed N:M storage back to a dense 2-D matrix.
 
-    Padding slots alias index 0 with value 0; scattering slots in reverse
-    order writes them first, so a real value stored at offset 0 wins.
+    Single vectorised scatter-*add* pass.  Additive semantics make the
+    padding alias order-independent: real slots occupy distinct in-block
+    offsets by construction, so the only index collisions are padding slots
+    (value 0 at offset 0), whose contribution is 0 — no reliance on
+    duplicate-index write ordering, which NumPy leaves unspecified.
     """
     rows, cols = c.shape
-    out_blocks = np.zeros((rows, cols // c.pattern.m, c.pattern.m), dtype=c.values.dtype)
-    for j in range(c.values.shape[-1] - 1, -1, -1):
-        np.put_along_axis(
-            out_blocks, c.indices[..., j : j + 1].astype(np.intp), c.values[..., j : j + 1], axis=-1
-        )
-    return out_blocks.reshape(rows, cols)
+    n_blocks = cols // c.pattern.m
+    base = (np.arange(rows * n_blocks, dtype=np.intp) * c.pattern.m).reshape(rows, n_blocks, 1)
+    flat_idx = (base + c.indices.astype(np.intp)).ravel()
+    out = np.bincount(
+        flat_idx, weights=c.values.ravel().astype(np.float64, copy=False), minlength=rows * cols
+    )
+    return out.reshape(rows, cols).astype(c.values.dtype, copy=False)
+
+
+def nm_gather_tables(c: CompressedNM) -> tuple[np.ndarray, np.ndarray]:
+    """Flattened gather tables for the structured GEMM.
+
+    Returns ``(flat_vals, flat_rows)``, both ``(rows, n_blocks * n)``:
+    every compressed slot's value and the row of the right-hand operand it
+    multiplies (``block_base + in-block offset``).  The tables depend only
+    on the compressed operand, so runtime plans precompute them once.
+    """
+    rows, _ = c.shape
+    n_blocks = c.values.shape[1]
+    base = (np.arange(n_blocks) * c.pattern.m)[None, :, None]
+    b_rows = base + c.indices.astype(np.intp)  # (rows, n_blocks, n)
+    return c.values.reshape(rows, -1), b_rows.reshape(rows, -1)
+
+
+def nm_matmul_from_tables(
+    flat_vals: np.ndarray, flat_rows: np.ndarray, b: np.ndarray
+) -> np.ndarray:
+    """The structured GEMM contraction over precomputed gather tables.
+
+    Single source of the kernel arithmetic: every structured execution path
+    (direct :func:`nm_matmul`, compiled runtime plans) funnels through this
+    einsum, which is what keeps their results bit-identical.
+    """
+    # Gathered B slices: (rows, n_blocks*n, N_out); contract per output row.
+    # einsum keeps this a single vectorised pass over all rows.
+    return np.einsum("rk,rkn->rn", flat_vals, b[flat_rows])
 
 
 def nm_matmul(c: CompressedNM, b: np.ndarray) -> np.ndarray:
@@ -100,16 +141,8 @@ def nm_matmul(c: CompressedNM, b: np.ndarray) -> np.ndarray:
     rows, k = c.shape
     if b.shape[0] != k:
         raise ValueError(f"inner dimensions mismatch: {c.shape} @ {b.shape}")
-    n_blocks = k // c.pattern.m
-    # Row index into b for every compressed slot: block_base + in-block offset.
-    base = (np.arange(n_blocks) * c.pattern.m)[None, :, None]
-    b_rows = base + c.indices.astype(np.intp)  # (rows, n_blocks, n)
-    flat_vals = c.values.reshape(rows, -1)  # (rows, n_blocks * n)
-    flat_rows = b_rows.reshape(rows, -1)
-    # Gathered B slices: (rows, n_blocks*n, N_out); contract per output row.
-    # einsum keeps this a single vectorised pass over all rows.
-    gathered = b[flat_rows]  # (rows, n_blocks*n, N_out)
-    return np.einsum("rk,rkn->rn", flat_vals, gathered)
+    flat_vals, flat_rows = nm_gather_tables(c)
+    return nm_matmul_from_tables(flat_vals, flat_rows, b)
 
 
 def tasd_matmul(

@@ -44,11 +44,17 @@ class _GemmLayer(Module):
     matrix used in place of the trained one during inference — the mechanism
     behind the paper's TFC/TCONV layers.  Training always uses the true
     parameter.
+
+    ``compiled_plan`` is the runtime's fast path: when a
+    :class:`repro.runtime.plan.LayerPlan` is attached, eval-mode forwards
+    route their GEMM through the plan's pre-compressed structured kernels
+    instead of re-decomposing per call.  Training ignores it.
     """
 
     def __init__(self) -> None:
         super().__init__()
         self.effective_weight: np.ndarray | None = None
+        self.compiled_plan = None  # LayerPlan | None (duck-typed; no nn→runtime import)
 
     # Overridden by subclasses -------------------------------------------------
     def weight_matrix(self) -> np.ndarray:
@@ -65,6 +71,18 @@ class _GemmLayer(Module):
                 f"effective weight shape {w.shape} != {self.weight_matrix().shape}"
             )
         self.effective_weight = None if w is None else np.asarray(w)
+
+    def set_compiled_plan(self, plan) -> None:
+        """Attach (or detach, with ``None``) a compiled runtime layer plan."""
+        if plan is not None:
+            expected = self.weight_matrix().shape
+            got = (plan.out_features, plan.reduction)
+            if got != expected:
+                raise ValueError(f"plan GEMM shape {got} != layer weight shape {expected}")
+        self.compiled_plan = plan
+
+    def _plan_active(self) -> bool:
+        return self.compiled_plan is not None and not self.training
 
     def _active_weight(self) -> np.ndarray:
         if not self.training and self.effective_weight is not None:
@@ -98,8 +116,14 @@ class Linear(_GemmLayer):
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         self._x = x
-        w = self._active_weight()
-        y = x @ w.T
+        if self._plan_active():
+            plan = self.compiled_plan
+            x_eff = plan.transform_input(x)
+            x2 = x_eff.reshape(-1, self.in_features)
+            y = plan.gemm(x2).reshape(*x.shape[:-1], self.out_features)
+        else:
+            w = self._active_weight()
+            y = x @ w.T
         if self.bias is not None:
             y = y + self.bias.data
         return y
@@ -160,11 +184,19 @@ class Conv2d(_GemmLayer):
     def forward(self, x: np.ndarray) -> np.ndarray:
         b = x.shape[0]
         self._input_shape = x.shape
+        use_plan = self._plan_active()
+        if use_plan:
+            # Dynamic TASD-A decomposes the NCHW map along channels,
+            # before im2col spreads them across the reduction axis.
+            x = self.compiled_plan.transform_input(x)
         cols, (oh, ow) = im2col(x, self.kernel_size, self.stride, self.padding)
         self._cols = cols
         self._out_hw = (oh, ow)
-        w = self._active_weight()  # (out_ch, c*k*k)
-        y = cols @ w.T  # (b*oh*ow, out_ch)
+        if use_plan:
+            y = self.compiled_plan.gemm(cols)  # (b*oh*ow, out_ch)
+        else:
+            w = self._active_weight()  # (out_ch, c*k*k)
+            y = cols @ w.T  # (b*oh*ow, out_ch)
         if self.bias is not None:
             y = y + self.bias.data
         return y.reshape(b, oh, ow, self.out_channels).transpose(0, 3, 1, 2)

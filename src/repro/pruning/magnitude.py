@@ -51,6 +51,8 @@ def global_magnitude_prune(
     weights in place.  A single global threshold lets layers with smaller
     weights prune harder — the mechanism behind Fig. 6's per-layer spread.
     """
+    if not 0.0 <= sparsity < 1.0:
+        raise ValueError(f"sparsity must be in [0, 1), got {sparsity}")
     layers = gemm_layers(model, include_head)
     if not layers:
         raise ValueError("model has no prunable GEMM layers")

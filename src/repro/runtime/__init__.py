@@ -1,0 +1,45 @@
+"""Inference runtime: compiled execution plans, operand cache, serving.
+
+Turns the functional TASD kernels into a serving system: a
+:func:`compile_plan` pass decomposes and compresses static weights exactly
+once, a content-addressed :class:`OperandCache` shares compiled operands,
+a :class:`PlanExecutor` runs batches against the plan with perf counters,
+and a :class:`ServingEngine` micro-batches concurrent requests on top.
+
+Quickstart::
+
+    from repro.runtime import OperandCache, PlanExecutor, ServingEngine, compile_plan
+
+    plan = compile_plan(model, transform)          # weights compress once
+    with PlanExecutor(model, plan) as executor:
+        with ServingEngine(executor, max_batch=8) as engine:
+            y = engine.infer(x)                    # compile once, serve many
+"""
+
+from .cache import CompiledOperand, OperandCache, tensor_digest
+from .counters import (
+    CacheCounters,
+    ExecutorStats,
+    LayerCounters,
+    RequestStats,
+    ServeReport,
+)
+from .executor import PlanExecutor
+from .plan import ExecutionPlan, LayerPlan, compile_plan
+from .serve import ServingEngine
+
+__all__ = [
+    "CacheCounters",
+    "CompiledOperand",
+    "ExecutionPlan",
+    "ExecutorStats",
+    "LayerCounters",
+    "LayerPlan",
+    "OperandCache",
+    "PlanExecutor",
+    "RequestStats",
+    "ServeReport",
+    "ServingEngine",
+    "compile_plan",
+    "tensor_digest",
+]

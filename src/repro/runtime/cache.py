@@ -1,0 +1,181 @@
+"""Content-addressed cache of decomposed / compressed operands.
+
+The TASD decomposition of a tensor is a pure function of (tensor bytes,
+series configuration, axis) — so its results can be cached by content
+digest.  Static weights hit the cache on every forward after plan build;
+dynamic activations hit it whenever the same tensor recurs (retried
+requests, calibration replays, deduplicated micro-batches).
+
+Entries are LRU-evicted under a capacity bound and hits return the *same*
+object that was stored, so compiled plans can share operands by identity.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.series import TASDConfig
+from repro.core.sparse_ops import (
+    CompressedNM,
+    nm_compress,
+    nm_gather_tables,
+    nm_matmul_from_tables,
+)
+from repro.tensor.blocks import pad_to_multiple
+
+from .counters import CacheCounters
+
+__all__ = ["tensor_digest", "CompiledOperand", "OperandCache"]
+
+
+def tensor_digest(a: np.ndarray) -> str:
+    """Content digest of an array: dtype + shape + raw bytes (SHA-1)."""
+    a = np.ascontiguousarray(a)
+    h = hashlib.sha1()
+    h.update(str(a.dtype).encode())
+    h.update(str(a.shape).encode())
+    h.update(a.tobytes())
+    return h.hexdigest()
+
+
+@dataclass(frozen=True)
+class CompiledOperand:
+    """A matrix pre-decomposed and pre-compressed for structured execution.
+
+    Holds the :class:`CompressedNM` term storage (what the accelerator's
+    scratchpads would keep resident, per S2TA) plus flattened gather tables
+    so :meth:`matmul` replays exactly the arithmetic of
+    :func:`repro.core.sparse_ops.nm_matmul` without re-deriving indices.
+    """
+
+    config: TASDConfig
+    original_shape: tuple[int, int]
+    padded_shape: tuple[int, int]
+    terms: tuple[CompressedNM, ...]
+    # Per-term flattened kernels: values (rows, n_blocks*n) and the matching
+    # row indices into the right-hand operand.
+    flat_values: tuple[np.ndarray, ...] = field(repr=False)
+    flat_rows: tuple[np.ndarray, ...] = field(repr=False)
+
+    @property
+    def order(self) -> int:
+        return len(self.terms)
+
+    @property
+    def total_nnz(self) -> int:
+        """Non-zeros held across all compressed terms."""
+        return sum(t.nnz for t in self.terms)
+
+    @property
+    def slots(self) -> int:
+        """Compressed value slots (the MACs hardware runs per output column)."""
+        return sum(t.values.size for t in self.terms)
+
+    @property
+    def compressed_bits(self) -> float:
+        return sum(t.compressed_bits for t in self.terms)
+
+    def matmul(self, b: np.ndarray) -> np.ndarray:
+        """``decompress(self) @ b`` via the structured kernels, term by term.
+
+        ``b`` must already span the padded reduction dimension.  The
+        accumulation order matches :func:`repro.core.sparse_ops.tasd_matmul`
+        exactly, so results are bit-identical to the per-call path.
+        """
+        b = np.asarray(b)
+        rows, k = self.padded_shape
+        if b.shape[0] != k:
+            raise ValueError(f"inner dimensions mismatch: {self.padded_shape} @ {b.shape}")
+        out = np.zeros((rows, b.shape[1]), dtype=np.result_type(self.terms[0].values, b))
+        for vals, rows_idx in zip(self.flat_values, self.flat_rows):
+            out += nm_matmul_from_tables(vals, rows_idx, b)
+        return out
+
+
+def _compile_operand(matrix: np.ndarray, config: TASDConfig) -> CompiledOperand:
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2:
+        raise ValueError(f"compiled operands are 2-D matrices, got shape {matrix.shape}")
+    if config.is_dense:
+        raise ValueError("dense configurations have no compressed form")
+    padded = pad_to_multiple(matrix, config.block_lcm, axis=-1)
+    dec = config.apply(padded, axis=-1)
+    terms = tuple(nm_compress(t.tensor, t.pattern) for t in dec.terms)
+    tables = [nm_gather_tables(c) for c in terms]
+    flat_values = [vals for vals, _ in tables]
+    flat_rows = [rows for _, rows in tables]
+    return CompiledOperand(
+        config=config,
+        original_shape=tuple(matrix.shape),
+        padded_shape=tuple(padded.shape),
+        terms=terms,
+        flat_values=tuple(flat_values),
+        flat_rows=tuple(flat_rows),
+    )
+
+
+class OperandCache:
+    """Thread-safe LRU cache of compiled operands and decomposed views.
+
+    Keys are (kind, content digest, configuration, axis) — content-addressed,
+    so identical tensors share one entry regardless of where they came from.
+    ``capacity`` bounds the number of resident entries; the least recently
+    used entry is evicted first.
+    """
+
+    def __init__(self, capacity: int = 128) -> None:
+        if capacity <= 0:
+            raise ValueError(f"cache capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.counters = CacheCounters()
+        self._store: OrderedDict[tuple, object] = OrderedDict()
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._store.clear()
+
+    def _get_or_build(self, key: tuple, build) -> object:
+        with self._lock:
+            if key in self._store:
+                self._store.move_to_end(key)
+                self.counters.hits += 1
+                return self._store[key]
+        # Build outside the lock: decomposition is the expensive part and
+        # concurrent builders at worst duplicate work, never corrupt state.
+        value = build()
+        with self._lock:
+            if key in self._store:  # racing builder won; keep its object
+                self._store.move_to_end(key)
+                self.counters.misses += 1
+                return self._store[key]
+            self._store[key] = value
+            self.counters.misses += 1
+            while len(self._store) > self.capacity:
+                self._store.popitem(last=False)
+                self.counters.evictions += 1
+        return value
+
+    # ------------------------------------------------------------------ #
+    def compress(self, matrix: np.ndarray, config: TASDConfig) -> CompiledOperand:
+        """Compiled (decomposed + compressed) form of a 2-D matrix."""
+        key = ("compress", tensor_digest(matrix), str(config))
+        return self._get_or_build(key, lambda: _compile_operand(matrix, config))
+
+    def view(self, x: np.ndarray, config: TASDConfig, axis: int = -1) -> np.ndarray:
+        """Cached TASD series view of ``x`` (the dynamic-activation path)."""
+        if config.is_dense:
+            return np.asarray(x)
+        from repro.tasder.transform import decompose_activation
+
+        key = ("view", tensor_digest(x), str(config), int(axis) % np.asarray(x).ndim)
+        return self._get_or_build(key, lambda: decompose_activation(x, config, axis))

@@ -1,0 +1,194 @@
+"""Perf/telemetry structs shared across the inference runtime.
+
+Counters are plain mutable dataclasses: the executor and cache update them
+in place on the hot path (no allocation), and reporting code snapshots them
+into tables.  MAC counts follow the compute model of Section 3.2 — each
+TASD term runs ``n/m`` of the dense MACs — so ``structured_macs /
+dense_macs`` reproduces the compute fraction TASDER optimises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "CacheCounters",
+    "LayerCounters",
+    "ExecutorStats",
+    "RequestStats",
+    "ServeReport",
+]
+
+
+@dataclass
+class CacheCounters:
+    """Hit/miss/eviction accounting for the operand cache."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when never used)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def reset(self) -> None:
+        self.hits = self.misses = self.evictions = 0
+
+    def __str__(self) -> str:
+        return (
+            f"cache: {self.hits} hits / {self.misses} misses "
+            f"({self.hit_rate:.1%} hit rate), {self.evictions} evictions"
+        )
+
+
+@dataclass
+class LayerCounters:
+    """Per-layer execution counters accumulated by a :class:`LayerPlan`."""
+
+    calls: int = 0
+    structured_macs: int = 0  # MACs actually executed (compressed slots)
+    dense_macs: int = 0  # MACs a dense GEMM of the same shape would run
+    wall_time: float = 0.0  # seconds spent inside the layer's GEMM
+
+    @property
+    def mac_fraction(self) -> float:
+        """Executed MACs relative to dense (Section 3.2's cost model)."""
+        return self.structured_macs / self.dense_macs if self.dense_macs else 1.0
+
+    def record(self, structured: int, dense: int, seconds: float) -> None:
+        self.calls += 1
+        self.structured_macs += structured
+        self.dense_macs += dense
+        self.wall_time += seconds
+
+    def merged_with(self, other: "LayerCounters") -> "LayerCounters":
+        return LayerCounters(
+            calls=self.calls + other.calls,
+            structured_macs=self.structured_macs + other.structured_macs,
+            dense_macs=self.dense_macs + other.dense_macs,
+            wall_time=self.wall_time + other.wall_time,
+        )
+
+    def reset(self) -> None:
+        self.calls = self.structured_macs = self.dense_macs = 0
+        self.wall_time = 0.0
+
+
+@dataclass
+class ExecutorStats:
+    """Aggregate view of an executor's work since the last reset."""
+
+    batches: int = 0
+    samples: int = 0
+    wall_time: float = 0.0
+    layers: dict[str, LayerCounters] = field(default_factory=dict)
+    cache: CacheCounters = field(default_factory=CacheCounters)
+
+    @property
+    def total(self) -> LayerCounters:
+        out = LayerCounters()
+        for counters in self.layers.values():
+            out = out.merged_with(counters)
+        return out
+
+    @property
+    def throughput(self) -> float:
+        """Samples per second over the executor's measured forwards."""
+        return self.samples / self.wall_time if self.wall_time else 0.0
+
+    def table(self) -> str:
+        """Per-layer counter table plus totals, for CLI / example output."""
+        header = f"{'layer':<28s} {'calls':>6s} {'MACs':>12s} {'dense':>12s} {'frac':>6s} {'ms':>8s}"
+        lines = [header, "-" * len(header)]
+        for name, c in self.layers.items():
+            lines.append(
+                f"{name:<28s} {c.calls:>6d} {c.structured_macs:>12d} "
+                f"{c.dense_macs:>12d} {c.mac_fraction:>6.3f} {c.wall_time * 1e3:>8.2f}"
+            )
+        t = self.total
+        lines.append("-" * len(header))
+        lines.append(
+            f"{'total':<28s} {t.calls:>6d} {t.structured_macs:>12d} "
+            f"{t.dense_macs:>12d} {t.mac_fraction:>6.3f} {t.wall_time * 1e3:>8.2f}"
+        )
+        lines.append(
+            f"{self.batches} batches / {self.samples} samples, "
+            f"{self.wall_time * 1e3:.2f} ms total ({self.throughput:.1f} samples/s); {self.cache}"
+        )
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class RequestStats:
+    """Timing of one served request, recorded by the serving engine."""
+
+    request_id: int
+    batch_size: int  # size of the micro-batch this request rode in
+    samples: int  # samples this request itself contributed
+    queue_time: float  # seconds from submit to batch dispatch
+    compute_time: float  # seconds of model execution for the micro-batch
+    latency: float  # seconds from submit to result
+
+    def __str__(self) -> str:
+        return (
+            f"request {self.request_id}: latency {self.latency * 1e3:.2f} ms "
+            f"(queued {self.queue_time * 1e3:.2f} ms, compute "
+            f"{self.compute_time * 1e3:.2f} ms, batch {self.batch_size})"
+        )
+
+
+@dataclass
+class ServeReport:
+    """Aggregate latency/throughput report over a batch of served requests."""
+
+    requests: list[RequestStats] = field(default_factory=list)
+    wall_time: float = 0.0
+
+    @property
+    def count(self) -> int:
+        return len(self.requests)
+
+    @property
+    def samples(self) -> int:
+        return sum(r.samples for r in self.requests)
+
+    @property
+    def mean_latency(self) -> float:
+        if not self.requests:
+            return 0.0
+        return sum(r.latency for r in self.requests) / len(self.requests)
+
+    @property
+    def mean_batch_size(self) -> float:
+        if not self.requests:
+            return 0.0
+        return sum(r.batch_size for r in self.requests) / len(self.requests)
+
+    def latency_percentile(self, q: float) -> float:
+        """Latency at percentile ``q`` (0..100) by nearest-rank."""
+        if not self.requests:
+            return 0.0
+        ordered = sorted(r.latency for r in self.requests)
+        rank = min(len(ordered) - 1, max(0, int(round(q / 100.0 * (len(ordered) - 1)))))
+        return ordered[rank]
+
+    @property
+    def throughput(self) -> float:
+        """Requests per second over the serving window."""
+        return self.count / self.wall_time if self.wall_time else 0.0
+
+    def summary(self) -> str:
+        return (
+            f"{self.count} requests ({self.samples} samples) in "
+            f"{self.wall_time * 1e3:.1f} ms — {self.throughput:.1f} req/s, "
+            f"latency mean {self.mean_latency * 1e3:.2f} ms / "
+            f"p50 {self.latency_percentile(50) * 1e3:.2f} ms / "
+            f"p95 {self.latency_percentile(95) * 1e3:.2f} ms, "
+            f"mean micro-batch {self.mean_batch_size:.1f}"
+        )

@@ -1,0 +1,251 @@
+"""Ahead-of-time plan compiler: Module + TASDTransform → ExecutionPlan.
+
+A compiled plan fixes, per GEMM layer, everything that does not depend on
+the input: the weight-side TASD decomposition, its :class:`CompressedNM`
+storage, and the gather tables of the structured kernels.  Weights are
+decomposed and compressed exactly once — at plan-build time — so serving a
+request costs only the structured GEMMs themselves (SparseRT's insight,
+applied to the TASD datapath).
+
+Three execution modes exist for every layer:
+
+- ``compiled``  — structured GEMMs over the pre-compressed weight terms;
+- ``per_call``  — re-decompose through :func:`tasd_matmul` on every forward
+  (the uncompiled baseline the benchmarks compare against);
+- ``dense``     — plain dense GEMM (layers the transform leaves dense).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.series import DENSE_CONFIG, TASDConfig
+from repro.core.sparse_ops import tasd_matmul
+from repro.nn.layers import Conv2d, _GemmLayer
+from repro.nn.module import Module
+from repro.pruning.targets import gemm_layers
+from repro.tasder.transform import (
+    TASDTransform,
+    _activation_axis,
+    clear_transform,
+    decompose_activation,
+)
+from repro.tensor.blocks import pad_to_multiple
+
+from .cache import CompiledOperand, OperandCache
+from .counters import LayerCounters
+
+__all__ = ["LayerPlan", "ExecutionPlan", "compile_plan"]
+
+MODES = ("compiled", "per_call", "dense")
+
+
+@dataclass
+class LayerPlan:
+    """Everything one GEMM layer needs to execute requests against.
+
+    The plan owns the layer's GEMM: :meth:`gemm` maps a 2-D input block
+    ``(batch_rows, k)`` to ``(batch_rows, out)`` exactly as ``x2 @ W.T``
+    would, routed through whichever kernel ``mode`` selects, and records
+    MAC / wall-time counters as it goes.
+    """
+
+    name: str
+    kind: str  # "linear" | "conv2d"
+    mode: str
+    weight_config: TASDConfig
+    activation_config: TASDConfig
+    activation_axis: int
+    operand: CompiledOperand | None  # compressed weights (compiled mode)
+    dense_weight: np.ndarray | None  # weight matrix (dense / per-call modes)
+    cache: OperandCache | None = None
+    counters: LayerCounters = field(default_factory=LayerCounters)
+
+    def __post_init__(self) -> None:
+        if self.mode not in MODES:
+            raise ValueError(f"unknown plan mode {self.mode!r}; options: {MODES}")
+        if self.mode == "compiled" and self.operand is None:
+            raise ValueError("compiled mode requires a compiled operand")
+        if self.mode in ("per_call", "dense") and self.dense_weight is None:
+            raise ValueError(f"{self.mode} mode requires the dense weight matrix")
+
+    # ------------------------------------------------------------------ #
+    @property
+    def out_features(self) -> int:
+        if self.operand is not None:
+            return self.operand.original_shape[0]
+        return self.dense_weight.shape[0]
+
+    @property
+    def reduction(self) -> int:
+        if self.operand is not None:
+            return self.operand.original_shape[1]
+        return self.dense_weight.shape[1]
+
+    def transform_input(self, x: np.ndarray) -> np.ndarray:
+        """Dynamic TASD-A decomposition of the incoming activation, if any."""
+        if self.activation_config.is_dense:
+            return x
+        if self.cache is not None:
+            return self.cache.view(x, self.activation_config, self.activation_axis)
+        return decompose_activation(x, self.activation_config, self.activation_axis)
+
+    # ------------------------------------------------------------------ #
+    def gemm(self, x2: np.ndarray) -> np.ndarray:
+        """Execute this layer's GEMM: ``x2 @ W_eff.T`` through the plan."""
+        t0 = time.perf_counter()
+        batch_rows = x2.shape[0]
+        if self.mode == "compiled":
+            xt = x2.T
+            if xt.shape[0] != self.operand.padded_shape[1]:
+                xt = pad_to_multiple(xt, self.weight_config.block_lcm, axis=0)
+            y = self.operand.matmul(xt).T
+            structured = self.operand.slots * batch_rows
+        elif self.mode == "per_call":
+            w = self.dense_weight
+            lcm = self.weight_config.block_lcm
+            w_pad = pad_to_multiple(w, lcm, axis=-1)
+            xt = pad_to_multiple(x2.T, lcm, axis=0)
+            y = tasd_matmul(w_pad, xt, self.weight_config).T
+            slots = sum(
+                (w_pad.shape[1] // p.m) * p.n for p in self.weight_config.patterns
+            ) * w.shape[0]
+            structured = slots * batch_rows
+        else:  # dense
+            y = x2 @ self.dense_weight.T
+            structured = batch_rows * self.reduction * self.out_features
+        dense = batch_rows * self.reduction * self.out_features
+        self.counters.record(structured, dense, time.perf_counter() - t0)
+        return y
+
+    __call__ = gemm
+
+    def describe(self) -> str:
+        storage = "-"
+        if self.operand is not None:
+            storage = f"{self.operand.total_nnz} nnz / {self.operand.compressed_bits / 8192:.1f} KiB"
+        return (
+            f"{self.name:<28s} {self.kind:<7s} {self.mode:<9s} "
+            f"W={str(self.weight_config):<10s} A={str(self.activation_config):<10s} {storage}"
+        )
+
+
+@dataclass
+class ExecutionPlan:
+    """An ordered set of layer plans compiled for one model + transform."""
+
+    layers: dict[str, LayerPlan]
+    transform: TASDTransform
+    cache: OperandCache
+    mode: str
+    build_time: float
+
+    # ------------------------------------------------------------------ #
+    @property
+    def total_nnz(self) -> int:
+        return sum(p.operand.total_nnz for p in self.layers.values() if p.operand is not None)
+
+    @property
+    def compressed_bits(self) -> float:
+        return sum(p.operand.compressed_bits for p in self.layers.values() if p.operand is not None)
+
+    def reset_counters(self) -> None:
+        for plan in self.layers.values():
+            plan.counters.reset()
+
+    # ------------------------------------------------------------------ #
+    def install(self, model: Module) -> None:
+        """Attach layer plans to the model's GEMM layers (the fast path).
+
+        Any TASD transform applied via ``tasder.apply`` is cleared first:
+        the plan subsumes both the weight and activation sides, and leaving
+        the transform's forward wrappers in place would decompose every
+        activation twice per request.
+        """
+        layers = dict(gemm_layers(model, include_head=True))
+        missing = set(self.layers) - set(layers)
+        if missing:
+            raise KeyError(f"plan names layers the model lacks: {sorted(missing)}")
+        clear_transform(model)
+        for name, plan in self.layers.items():
+            layers[name].set_compiled_plan(plan)
+
+    def uninstall(self, model: Module) -> None:
+        """Detach all layer plans, restoring the uncompiled forward."""
+        for _, layer in gemm_layers(model, include_head=True):
+            layer.set_compiled_plan(None)
+
+    # ------------------------------------------------------------------ #
+    def summary(self) -> str:
+        lines = [
+            f"execution plan: {len(self.layers)} layers, mode={self.mode}, "
+            f"built in {self.build_time * 1e3:.1f} ms",
+            f"compressed weights: {self.total_nnz} nnz, "
+            f"{self.compressed_bits / 8192:.1f} KiB; {self.cache.counters}",
+        ]
+        lines += [plan.describe() for plan in self.layers.values()]
+        return "\n".join(lines)
+
+
+def _layer_kind(layer: _GemmLayer) -> str:
+    return "conv2d" if isinstance(layer, Conv2d) else "linear"
+
+
+def compile_plan(
+    model: Module,
+    transform: TASDTransform,
+    cache: OperandCache | None = None,
+    mode: str = "compiled",
+    cache_activations: bool = False,
+) -> ExecutionPlan:
+    """Compile a model + transform into an :class:`ExecutionPlan`.
+
+    Every GEMM layer (heads included) receives a plan: layers the transform
+    targets get their weights decomposed and compressed exactly once, via
+    the operand ``cache``; untargeted layers get dense plans so the
+    executor's counters cover the whole network.  ``mode="per_call"``
+    builds the uncompiled baseline instead (no compression at build time;
+    every forward re-decomposes through ``tasd_matmul``).
+
+    ``cache_activations`` routes dynamic TASD-A views through the operand
+    cache too.  Off by default: it only pays when identical activations
+    recur (retries, replayed calibration batches) — in steady-state serving
+    the hit rate is ~0 while every forward would pay a full-tensor digest
+    and the cache would pin large activation copies.
+    """
+    if mode not in ("compiled", "per_call"):
+        raise ValueError(f"compile mode must be 'compiled' or 'per_call', got {mode!r}")
+    cache = cache if cache is not None else OperandCache()
+    t0 = time.perf_counter()
+    plans: dict[str, LayerPlan] = {}
+    for name, layer in gemm_layers(model, include_head=True):
+        weight_config = transform.weight_configs.get(name, DENSE_CONFIG)
+        activation_config = transform.activation_configs.get(name, DENSE_CONFIG)
+        w = layer.weight_matrix()
+        if weight_config.is_dense:
+            layer_mode, operand, dense_weight = "dense", None, w
+        elif mode == "per_call":
+            layer_mode, operand, dense_weight = "per_call", None, w
+        else:
+            layer_mode, operand, dense_weight = "compiled", cache.compress(w, weight_config), None
+        plans[name] = LayerPlan(
+            name=name,
+            kind=_layer_kind(layer),
+            mode=layer_mode,
+            weight_config=weight_config,
+            activation_config=activation_config,
+            activation_axis=_activation_axis(layer),
+            operand=operand,
+            dense_weight=dense_weight,
+            cache=cache if cache_activations else None,
+        )
+    return ExecutionPlan(
+        layers=plans,
+        transform=transform,
+        cache=cache,
+        mode=mode,
+        build_time=time.perf_counter() - t0,
+    )

@@ -1,0 +1,224 @@
+"""Serving engine: request queue, micro-batching, worker loop.
+
+Requests are single inputs (or small batches) submitted from any thread.
+Workers coalesce up to ``max_batch`` queued requests within a
+``batch_window`` seconds time window into one micro-batch, run it through
+the shared :class:`PlanExecutor`, split the outputs back per request, and
+resolve each request's future with its result and latency stats.
+
+Micro-batching preserves results exactly: the model is batch-linear (every
+layer treats the leading axis as independent samples), so serving a request
+inside a micro-batch returns the same values as serving it alone.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass
+
+import numpy as np
+
+from .counters import RequestStats, ServeReport
+from .executor import PlanExecutor
+
+__all__ = ["ServingEngine"]
+
+
+@dataclass
+class _Request:
+    request_id: int
+    x: np.ndarray
+    future: Future
+    submitted_at: float
+
+
+class ServingEngine:
+    """Micro-batching inference server over a compiled execution plan.
+
+    Parameters
+    ----------
+    executor : PlanExecutor
+        Shared executor; its internal lock serialises model forwards, so
+        multiple workers overlap only queueing/splitting work.
+    max_batch : int
+        Maximum requests coalesced into one micro-batch.
+    batch_window : float
+        Seconds a worker waits for additional requests after the first.
+    workers : int
+        Worker threads draining the queue.
+    """
+
+    def __init__(
+        self,
+        executor: PlanExecutor,
+        max_batch: int = 8,
+        batch_window: float = 0.002,
+        workers: int = 1,
+    ) -> None:
+        if max_batch <= 0:
+            raise ValueError(f"max_batch must be positive, got {max_batch}")
+        if workers <= 0:
+            raise ValueError(f"workers must be positive, got {workers}")
+        self.executor = executor
+        self.max_batch = max_batch
+        self.batch_window = batch_window
+        self.workers = workers
+        self._queue: "queue.Queue[_Request | None]" = queue.Queue()
+        self._threads: list[threading.Thread] = []
+        self._ids = itertools.count()
+        self._running = False
+        # Makes {check _running, enqueue} atomic against stop()'s flip, so a
+        # submit racing a concurrent stop() either lands before the shutdown
+        # sentinels (and is served) or raises — never a stranded future.
+        self._state_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
+        self._request_stats: list[RequestStats] = []
+        self._started_at = 0.0
+        self._stopped_at = 0.0
+
+    # ------------------------------------------------------------------ #
+    def start(self) -> "ServingEngine":
+        with self._state_lock:
+            if self._running:
+                return self
+            self.executor.install()
+            self._running = True
+        self._started_at = time.perf_counter()
+        for i in range(self.workers):
+            t = threading.Thread(target=self._worker_loop, name=f"serve-worker-{i}", daemon=True)
+            t.start()
+            self._threads.append(t)
+        return self
+
+    def stop(self) -> None:
+        with self._state_lock:
+            if not self._running:
+                return
+            self._running = False
+        for _ in self._threads:
+            self._queue.put(None)  # one sentinel per worker
+        for t in self._threads:
+            t.join()
+        self._threads.clear()
+        # Safety net: a request submitted concurrently with stop() may still
+        # sit behind the sentinels.  Serve leftovers synchronously so no
+        # future is ever stranded.
+        while True:
+            try:
+                leftover = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if leftover is not None:
+                self._execute_batch([leftover])
+        self._stopped_at = time.perf_counter()
+
+    def __enter__(self) -> "ServingEngine":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------ #
+    def submit(self, x: np.ndarray) -> Future:
+        """Enqueue one request; the future resolves to its output batch."""
+        x = np.asarray(x)
+        if x.ndim < 1 or x.shape[0] < 1:
+            raise ValueError(f"request input needs a leading batch axis, got shape {x.shape}")
+        request = _Request(next(self._ids), x, Future(), time.perf_counter())
+        with self._state_lock:
+            if not self._running:
+                raise RuntimeError("serving engine is not running; call start() first")
+            self._queue.put(request)
+        return request.future
+
+    def infer(self, x: np.ndarray, timeout: float | None = None) -> np.ndarray:
+        """Synchronous convenience wrapper around :meth:`submit`."""
+        return self.submit(x).result(timeout=timeout)
+
+    # ------------------------------------------------------------------ #
+    def _gather_batch(self, first: _Request) -> tuple[list[_Request], "_Request | None"]:
+        """Coalesce compatible requests behind ``first`` within the window.
+
+        Returns the batch plus an optional *carry*: a request whose sample
+        shape did not match the batch.  The carry stays with this worker (it
+        opens the next batch) rather than being requeued — requeueing could
+        land it behind a shutdown sentinel and strand its future forever.
+        """
+        batch = [first]
+        carry: _Request | None = None
+        deadline = time.perf_counter() + self.batch_window
+        while len(batch) < self.max_batch:
+            remaining = deadline - time.perf_counter()
+            if remaining <= 0:
+                break
+            try:
+                req = self._queue.get(timeout=remaining)
+            except queue.Empty:
+                break
+            if req is None:  # shutdown sentinel: hand it to another worker
+                self._queue.put(None)
+                break
+            if req.x.shape[1:] != first.x.shape[1:] or req.x.dtype != first.x.dtype:
+                # Mismatched sample shape or dtype: concatenating would
+                # reshape/upcast and change the request's exact result.
+                carry = req
+                break
+            batch.append(req)
+        return batch, carry
+
+    def _worker_loop(self) -> None:
+        carry: _Request | None = None
+        while True:
+            if carry is not None:
+                first, carry = carry, None
+            else:
+                try:
+                    first = self._queue.get(timeout=0.05)
+                except queue.Empty:
+                    if not self._running:
+                        return
+                    continue
+                if first is None:
+                    return
+            batch, carry = self._gather_batch(first)
+            self._execute_batch(batch)
+
+    def _execute_batch(self, batch: list[_Request]) -> None:
+        dispatched_at = time.perf_counter()
+        sizes = [req.x.shape[0] for req in batch]
+        inputs = np.concatenate([req.x for req in batch], axis=0) if len(batch) > 1 else batch[0].x
+        try:
+            outputs = self.executor.run(inputs)
+        except Exception as exc:  # pragma: no cover - defensive
+            for req in batch:
+                req.future.set_exception(exc)
+            return
+        done_at = time.perf_counter()
+        compute_time = done_at - dispatched_at
+        offsets = np.cumsum([0] + sizes)
+        for req, lo, hi in zip(batch, offsets[:-1], offsets[1:]):
+            result = outputs[lo:hi]
+            stats = RequestStats(
+                request_id=req.request_id,
+                batch_size=len(batch),
+                samples=req.x.shape[0],
+                queue_time=dispatched_at - req.submitted_at,
+                compute_time=compute_time,
+                latency=done_at - req.submitted_at,
+            )
+            with self._stats_lock:
+                self._request_stats.append(stats)
+            req.future.set_result(result)
+
+    # ------------------------------------------------------------------ #
+    def report(self) -> ServeReport:
+        """Latency/throughput report over everything served so far."""
+        end = self._stopped_at if self._stopped_at > self._started_at else time.perf_counter()
+        with self._stats_lock:
+            requests = list(self._request_stats)
+        wall = max(0.0, end - self._started_at) if self._started_at else 0.0
+        return ServeReport(requests=requests, wall_time=wall)

@@ -32,10 +32,6 @@ __all__ = [
 ]
 
 
-def _block_lcm(config: TASDConfig) -> int:
-    return int(np.lcm.reduce([p.m for p in config.patterns])) if config.patterns else 1
-
-
 def decompose_weight_matrix(w: np.ndarray, config: TASDConfig) -> np.ndarray:
     """TASD view of a weight matrix along its reduction (last) axis.
 
@@ -44,8 +40,7 @@ def decompose_weight_matrix(w: np.ndarray, config: TASDConfig) -> np.ndarray:
     """
     if config.is_dense:
         return np.asarray(w)
-    lcm = _block_lcm(config)
-    padded = pad_to_multiple(w, lcm, axis=-1)
+    padded = pad_to_multiple(w, config.block_lcm, axis=-1)
     approx = config.view(padded, axis=-1)
     return crop_to_shape(approx, w.shape)
 
@@ -54,9 +49,8 @@ def decompose_activation(x: np.ndarray, config: TASDConfig, axis: int) -> np.nda
     """TASD view of an activation tensor along ``axis`` (dynamic TASD-A path)."""
     if config.is_dense:
         return np.asarray(x)
-    lcm = _block_lcm(config)
     original_shape = x.shape
-    padded = pad_to_multiple(x, lcm, axis=axis)
+    padded = pad_to_multiple(x, config.block_lcm, axis=axis)
     approx = config.view(padded, axis=axis)
     return crop_to_shape(approx, original_shape)
 

@@ -114,3 +114,21 @@ def test_property_residual_nnz_never_grows(seed):
         nnz = np.count_nonzero(dec.residual)
         assert nnz <= prev_nnz
         prev_nnz = nnz
+
+
+class TestTotalNnz:
+    def test_total_nnz_sums_term_nonzeros(self, fig4_matrix):
+        dec = decompose(fig4_matrix, [NMPattern(2, 4), NMPattern(2, 8)])
+        assert dec.total_nnz == sum(t.nnz for t in dec.terms)
+        # Fig. 4's matrix is lossless under 2:4 + 2:8, so the series covers
+        # every non-zero of the original exactly once.
+        assert dec.total_nnz == np.count_nonzero(fig4_matrix)
+
+    def test_empty_series_has_zero_total_nnz(self, rng):
+        assert decompose(rng.normal(size=(2, 8)), []).total_nnz == 0
+
+    def test_residual_default_resolves_to_ndarray(self, rng):
+        x = rng.normal(size=(2, 8))
+        dec = Decomposition(original=x)
+        assert isinstance(dec.residual, np.ndarray)
+        assert dec.residual is not x  # a private copy, not an alias

@@ -1,0 +1,127 @@
+"""Tests for the content-addressed operand cache."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import NMPattern, TASDConfig, tasd_matmul
+from repro.core.series import DENSE_CONFIG
+from repro.core.sparse_ops import nm_decompress
+from repro.runtime import OperandCache, tensor_digest
+from repro.tasder.transform import decompose_activation
+
+CFG = TASDConfig.parse("2:4")
+
+
+@pytest.fixture
+def matrix(rng):
+    return rng.normal(size=(16, 32)) * (rng.random((16, 32)) < 0.5)
+
+
+class TestDigest:
+    def test_identical_content_identical_digest(self, matrix):
+        assert tensor_digest(matrix) == tensor_digest(matrix.copy())
+
+    def test_content_changes_digest(self, matrix):
+        other = matrix.copy()
+        other[0, 0] += 1.0
+        assert tensor_digest(matrix) != tensor_digest(other)
+
+    def test_shape_and_dtype_change_digest(self):
+        a = np.zeros((4, 8))
+        assert tensor_digest(a) != tensor_digest(a.reshape(8, 4))
+        assert tensor_digest(a) != tensor_digest(a.astype(np.float32))
+
+
+class TestCompressCache:
+    def test_hit_returns_identical_object(self, matrix):
+        cache = OperandCache()
+        first = cache.compress(matrix, CFG)
+        second = cache.compress(matrix.copy(), CFG)  # same content, new array
+        assert second is first
+        assert cache.counters.hits == 1
+        assert cache.counters.misses == 1
+
+    def test_different_config_is_a_different_entry(self, matrix):
+        cache = OperandCache()
+        a = cache.compress(matrix, CFG)
+        b = cache.compress(matrix, TASDConfig.parse("1:4"))
+        assert a is not b
+        assert cache.counters.misses == 2
+
+    def test_compiled_operand_matches_tasd_matmul(self, matrix, rng):
+        cache = OperandCache()
+        op = cache.compress(matrix, CFG)
+        b = rng.normal(size=(32, 8))
+        np.testing.assert_array_equal(op.matmul(b), tasd_matmul(matrix, b, CFG))
+
+    def test_terms_reconstruct_the_series_view(self, matrix):
+        op = OperandCache().compress(matrix, CFG)
+        reconstructed = sum(nm_decompress(t) for t in op.terms)
+        np.testing.assert_allclose(reconstructed, CFG.view(matrix))
+        assert op.total_nnz == np.count_nonzero(reconstructed)
+
+    def test_dense_config_rejected(self, matrix):
+        with pytest.raises(ValueError, match="dense"):
+            OperandCache().compress(matrix, DENSE_CONFIG)
+
+    def test_ragged_reduction_dim_is_padded(self, rng):
+        w = rng.normal(size=(4, 10))  # 10 % 4 != 0
+        op = OperandCache().compress(w, CFG)
+        assert op.padded_shape == (4, 12)
+        b = rng.normal(size=(12, 3))
+        assert op.matmul(b).shape == (4, 3)
+
+
+class TestEviction:
+    def test_capacity_bound_evicts_lru(self, rng):
+        cache = OperandCache(capacity=2)
+        mats = [rng.normal(size=(4, 8)) + i for i in range(3)]
+        for m in mats:
+            cache.compress(m, CFG)
+        assert len(cache) == 2
+        assert cache.counters.evictions == 1
+        # Oldest entry was evicted: requesting it again is a miss ...
+        cache.compress(mats[0], CFG)
+        assert cache.counters.misses == 4
+        # ... while the most recent entry is still resident.
+        cache.compress(mats[2], CFG)
+        assert cache.counters.hits == 1
+
+    def test_hit_refreshes_recency(self, rng):
+        cache = OperandCache(capacity=2)
+        a, b, c = (rng.normal(size=(4, 8)) + i for i in range(3))
+        cache.compress(a, CFG)
+        cache.compress(b, CFG)
+        cache.compress(a, CFG)  # refresh a; b becomes LRU
+        cache.compress(c, CFG)  # evicts b
+        hits_before = cache.counters.hits
+        cache.compress(a, CFG)
+        assert cache.counters.hits == hits_before + 1
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            OperandCache(capacity=0)
+
+
+class TestViewCache:
+    def test_view_matches_decompose_activation(self, rng):
+        cache = OperandCache()
+        x = rng.normal(size=(3, 8, 8))
+        out = cache.view(x, CFG, axis=1)
+        np.testing.assert_array_equal(out, decompose_activation(x, CFG, axis=1))
+
+    def test_repeated_view_hits(self, rng):
+        cache = OperandCache()
+        x = rng.normal(size=(2, 16))
+        first = cache.view(x, CFG, axis=-1)
+        second = cache.view(x.copy(), CFG, axis=-1)
+        assert second is first
+        assert cache.counters.hit_rate == 0.5
+
+    def test_dense_view_bypasses_the_cache(self, rng):
+        cache = OperandCache()
+        x = rng.normal(size=(2, 16))
+        np.testing.assert_array_equal(cache.view(x, DENSE_CONFIG), x)
+        assert cache.counters.lookups == 0

@@ -1,0 +1,120 @@
+"""Tests for the micro-batching serving engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import TASDConfig
+from repro.nn.models.resnet import resnet18
+from repro.pruning.magnitude import global_magnitude_prune
+from repro.pruning.targets import gemm_layers
+from repro.runtime import PlanExecutor, ServingEngine, compile_plan
+from repro.tasder.transform import TASDTransform
+
+CFG = TASDConfig.parse("2:4")
+
+
+@pytest.fixture(scope="module")
+def executor():
+    model = resnet18(num_classes=10, base_width=16)
+    global_magnitude_prune(model, 0.6)
+    transform = TASDTransform(
+        weight_configs={name: CFG for name, _ in gemm_layers(model)}
+    )
+    with PlanExecutor(model, compile_plan(model, transform)) as ex:
+        yield ex
+
+
+def test_micro_batched_output_matches_single_request(executor):
+    rng = np.random.default_rng(11)
+    inputs = [rng.normal(size=(1, 3, 8, 8)) for _ in range(6)]
+    singles = [executor.run(x) for x in inputs]
+    with ServingEngine(executor, max_batch=3, batch_window=0.05) as engine:
+        futures = [engine.submit(x) for x in inputs]
+        outputs = [f.result(timeout=60.0) for f in futures]
+    for single, served in zip(singles, outputs):
+        np.testing.assert_allclose(served, single, atol=1e-12)
+
+
+def test_requests_are_coalesced(executor):
+    rng = np.random.default_rng(12)
+    with ServingEngine(executor, max_batch=4, batch_window=0.25) as engine:
+        futures = [engine.submit(rng.normal(size=(1, 3, 8, 8))) for _ in range(4)]
+        for f in futures:
+            f.result(timeout=60.0)
+    report = engine.report()
+    assert report.count == 4
+    # All four requests were submitted inside one window, so at least some
+    # of them must have shared a micro-batch.
+    assert report.mean_batch_size > 1.0
+
+
+def test_multi_sample_requests_split_correctly(executor):
+    rng = np.random.default_rng(13)
+    a = rng.normal(size=(2, 3, 8, 8))
+    b = rng.normal(size=(3, 3, 8, 8))
+    expect_a, expect_b = executor.run(a), executor.run(b)
+    with ServingEngine(executor, max_batch=8, batch_window=0.05) as engine:
+        fa, fb = engine.submit(a), engine.submit(b)
+        out_a, out_b = fa.result(timeout=60.0), fb.result(timeout=60.0)
+    assert out_a.shape == (2, 10) and out_b.shape == (3, 10)
+    np.testing.assert_allclose(out_a, expect_a, atol=1e-12)
+    np.testing.assert_allclose(out_b, expect_b, atol=1e-12)
+
+
+def test_report_latency_stats_populated(executor):
+    rng = np.random.default_rng(14)
+    with ServingEngine(executor, max_batch=2, batch_window=0.01) as engine:
+        engine.infer(rng.normal(size=(1, 3, 8, 8)), timeout=60.0)
+        engine.infer(rng.normal(size=(1, 3, 8, 8)), timeout=60.0)
+    report = engine.report()
+    assert report.count == 2
+    assert all(r.latency >= r.compute_time >= 0.0 for r in report.requests)
+    assert report.mean_latency > 0.0
+    assert report.latency_percentile(95) >= report.latency_percentile(50)
+    assert "requests" in report.summary()
+
+
+def test_submit_requires_running_engine(executor):
+    engine = ServingEngine(executor)
+    with pytest.raises(RuntimeError, match="not running"):
+        engine.submit(np.zeros((1, 3, 8, 8)))
+
+
+def test_stop_is_idempotent(executor):
+    engine = ServingEngine(executor).start()
+    engine.stop()
+    engine.stop()  # no-op
+
+
+def test_invalid_parameters(executor):
+    with pytest.raises(ValueError):
+        ServingEngine(executor, max_batch=0)
+    with pytest.raises(ValueError):
+        ServingEngine(executor, workers=0)
+
+
+def test_mismatched_request_survives_immediate_stop(executor):
+    """A shape-incompatible request gathered mid-shutdown must still resolve."""
+    rng = np.random.default_rng(15)
+    a = rng.normal(size=(1, 3, 8, 8))
+    b = rng.normal(size=(1, 3, 16, 16))  # incompatible with a's micro-batch
+    engine = ServingEngine(executor, max_batch=4, batch_window=0.1).start()
+    fa, fb = engine.submit(a), engine.submit(b)
+    engine.stop()  # races the gather window on purpose
+    assert fa.result(timeout=30.0).shape == (1, 10)
+    assert fb.result(timeout=30.0).shape == (1, 10)
+
+
+def test_mixed_dtype_requests_keep_exact_results(executor):
+    """float32 and float64 requests must not be coalesced (concat upcasts)."""
+    rng = np.random.default_rng(16)
+    a32 = rng.normal(size=(1, 3, 8, 8)).astype(np.float32)
+    b64 = rng.normal(size=(1, 3, 8, 8))
+    expect_a, expect_b = executor.run(a32), executor.run(b64)
+    with ServingEngine(executor, max_batch=4, batch_window=0.05) as engine:
+        fa, fb = engine.submit(a32), engine.submit(b64)
+        out_a, out_b = fa.result(timeout=30.0), fb.result(timeout=30.0)
+    np.testing.assert_array_equal(out_a, expect_a)
+    np.testing.assert_array_equal(out_b, expect_b)
