@@ -6,10 +6,18 @@ pays that cost once at build time and serves forwards from pre-compressed
 :class:`CompressedNM` operands.  ``test_runtime_compiled_speedup`` fences
 the resulting speedup at >= 3x on a sparse ResNet-18 forward, so the bench
 trajectory tracks it.
+
+On top of that sit the kernel-backend fences: ``test_runtime_autotune_speedup``
+requires the compile-time autotuner to beat the reference ``einsum-gather``
+compiled path by >= 1.5x on the same serving workload, and the replica
+benches track how serving throughput scales when each engine worker gets
+its own model replica (asserted >= 1.5x for 4 workers where the machine
+has cores to scale onto).
 """
 
 from __future__ import annotations
 
+import os
 import time
 
 import numpy as np
@@ -19,10 +27,24 @@ from repro.core import TASDConfig
 from repro.nn.models.resnet import resnet18
 from repro.pruning.magnitude import global_magnitude_prune
 from repro.pruning.targets import gemm_layers
-from repro.runtime import OperandCache, PlanExecutor, ServingEngine, compile_plan
+from repro.runtime import (
+    OperandCache,
+    PlanExecutor,
+    ReplicaExecutor,
+    ServingEngine,
+    backend_names,
+    compile_plan,
+)
 from repro.tasder.transform import TASDTransform
 
 BATCH = 2
+
+
+def _usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
 
 
 @pytest.fixture(scope="module")
@@ -70,6 +92,112 @@ def test_bench_serving_engine(benchmark, serving_setup):
 
     report = benchmark.pedantic(serve_eight, rounds=1, iterations=1)
     assert report.count == 8
+
+
+@pytest.mark.parametrize("backend", backend_names())
+def test_bench_backend_forward(benchmark, serving_setup, backend):
+    """Per-backend compiled-forward throughput on the serving model."""
+    model, transform, x = serving_setup
+    plan = compile_plan(model, transform, backend=backend)
+    with PlanExecutor(model, plan) as executor:
+        out = benchmark(executor.run, x)
+    assert out.shape == (BATCH, 10)
+
+
+def test_bench_autotuned_forward(benchmark, serving_setup):
+    model, transform, x = serving_setup
+    plan = compile_plan(model, transform, autotune=True, autotune_repeats=2)
+    with PlanExecutor(model, plan) as executor:
+        out = benchmark(executor.run, x)
+    assert out.shape == (BATCH, 10)
+
+
+def test_bench_replica_serving(benchmark, serving_setup):
+    """Serving throughput with 4 replica workers draining 24 requests."""
+    model, transform, x = serving_setup
+    plan = compile_plan(model, transform, autotune=True, autotune_repeats=2)
+
+    def serve_round():
+        with ReplicaExecutor(model, plan, replicas=4) as executor:
+            with ServingEngine(executor, max_batch=4, batch_window=0.0, workers=4) as engine:
+                futures = [engine.submit(x[:1]) for _ in range(24)]
+                for f in futures:
+                    f.result(timeout=120.0)
+        return engine.report()
+
+    report = benchmark.pedantic(serve_round, rounds=1, iterations=1)
+    assert report.count == 24
+
+
+def _serve_throughput(model, plan, x, workers: int, requests: int) -> float:
+    """Requests/second over one drain of ``requests`` pre-submitted inputs."""
+    with ReplicaExecutor(model, plan, replicas=workers) as executor:
+        executor.install()  # replicas built outside the measured window
+        with ServingEngine(
+            executor, max_batch=2, batch_window=0.0, workers=workers
+        ) as engine:
+            futures = [engine.submit(x[:1]) for _ in range(requests)]
+            for f in futures:
+                f.result(timeout=120.0)
+    return engine.report().throughput
+
+
+def test_replica_scaling_throughput(serving_setup):
+    """Acceptance fence: 4 replica workers >= 1.5x single-worker throughput.
+
+    True parallel speedup needs cores to scale onto: on a single-core
+    machine the fence is physically unsatisfiable (all forwards share one
+    CPU no matter how many replicas exist), so there the ratio assertion is
+    skipped and only sanity is checked.  Correctness of replica serving is
+    covered by ``tests/runtime/test_runtime_replica.py``.
+    """
+    model, transform, x = serving_setup
+    plan = compile_plan(model, transform, autotune=True, autotune_repeats=2)
+    _serve_throughput(model, plan, x, workers=1, requests=8)  # warm caches
+    single = _serve_throughput(model, plan, x, workers=1, requests=32)
+    quad = _serve_throughput(model, plan, x, workers=4, requests=32)
+    scaling = quad / single
+    print(f"\nserving throughput: 1 worker {single:.1f} req/s, "
+          f"4 replica workers {quad:.1f} req/s -> {scaling:.2f}x "
+          f"({_usable_cores()} usable cores)")
+    assert single > 0 and quad > 0
+    if _usable_cores() < 2:
+        pytest.skip(
+            f"replica scaling fence needs >= 2 cores; this machine exposes "
+            f"{_usable_cores()} (measured {scaling:.2f}x)"
+        )
+    assert scaling >= 1.5, f"4 replica workers only {scaling:.2f}x single-worker throughput"
+
+
+def test_runtime_autotune_speedup(serving_setup):
+    """Acceptance fence: autotuned plan >= 1.5x the reference compiled path."""
+    model, transform, x = serving_setup
+    timings = {}
+    plans = {
+        "reference": compile_plan(model, transform, backend="einsum-gather"),
+        "autotuned": compile_plan(model, transform, autotune=True, autotune_repeats=2),
+    }
+    for name, plan in plans.items():
+        with PlanExecutor(model, plan) as executor:
+            executor.run(x)  # warm-up outside the clock
+            samples = []
+            for _ in range(7):
+                t0 = time.perf_counter()
+                executor.run(x)
+                samples.append(time.perf_counter() - t0)
+        timings[name] = sorted(samples)[len(samples) // 2]
+    speedup = timings["reference"] / timings["autotuned"]
+    choices = plans["autotuned"].backend_choices()
+    non_reference = sum(1 for b in choices.values() if b != "einsum-gather")
+    print(
+        f"\nautotuned {timings['autotuned'] * 1e3:.2f} ms vs reference "
+        f"{timings['reference'] * 1e3:.2f} ms per forward -> {speedup:.2f}x; "
+        f"{non_reference}/{len(choices)} layers left the reference backend"
+    )
+    # The tuner must actually be *choosing*: at least one layer shape has a
+    # non-reference winner (CI smoke asserts the same on a fresh machine).
+    assert non_reference >= 1
+    assert speedup >= 1.5, f"autotuned plan only {speedup:.2f}x faster than reference"
 
 
 def test_runtime_compiled_speedup(serving_setup):

@@ -2,8 +2,10 @@
 
 A sparse ResNet-18's weights are decomposed and compressed into structured
 N:M operands exactly once, at plan-build time; every request after that
-runs only the structured sparse GEMMs.  The serving engine coalesces
-concurrent requests into micro-batches and reports per-request latency.
+runs only the structured sparse GEMMs.  Compilation also *autotunes* the
+kernel backend per layer (micro-benchmarking the registry of structured
+GEMM implementations), and serving runs replica-parallel: each engine
+worker executes on its own model replica sharing the one compiled plan.
 
 Run:  python examples/serve_resnet.py
 """
@@ -14,7 +16,7 @@ from repro.core import TASDConfig
 from repro.nn.models.resnet import resnet18
 from repro.pruning.magnitude import global_magnitude_prune
 from repro.pruning.targets import gemm_layers
-from repro.runtime import OperandCache, PlanExecutor, ServingEngine, compile_plan
+from repro.runtime import OperandCache, ReplicaExecutor, ServingEngine, compile_plan
 from repro.tasder.transform import TASDTransform
 
 # ---------------------------------------------------------------------------
@@ -28,19 +30,22 @@ transform = TASDTransform(
 )
 
 # ---------------------------------------------------------------------------
-# 2. Compile: weights decompose + compress exactly once, into the cache.
-#    (Tasder.compile(result) does the same from a search result.)
+# 2. Compile: weights decompose + compress exactly once, into the cache,
+#    and the autotuner picks the fastest GEMM kernel backend per layer
+#    (visible in the summary).  Tasder.compile(result, autotune=True) does
+#    the same from a search result.
 # ---------------------------------------------------------------------------
 cache = OperandCache(capacity=64)
-plan = compile_plan(model, transform, cache=cache)
+plan = compile_plan(model, transform, cache=cache, autotune=True)
 print(plan.summary(), "\n")
 
 # ---------------------------------------------------------------------------
-# 3. Serve: submit concurrent requests; the engine micro-batches them.
+# 3. Serve replica-parallel: four engine workers, each with its own model
+#    replica (weights aliased, operands shared) — no executor lock.
 # ---------------------------------------------------------------------------
 rng = np.random.default_rng(0)
-with PlanExecutor(model, plan) as executor:
-    with ServingEngine(executor, max_batch=4, batch_window=0.002) as engine:
+with ReplicaExecutor(model, plan, replicas=4) as executor:
+    with ServingEngine(executor, max_batch=4, batch_window=0.002, workers=4) as engine:
         futures = [engine.submit(rng.normal(size=(1, 3, 8, 8))) for _ in range(16)]
         outputs = [f.result(timeout=120.0) for f in futures]
     print(engine.report().summary(), "\n")

@@ -9,7 +9,9 @@ Usage::
     python -m repro.cli all                  # everything (trains the zoo)
 
     python -m repro.cli compile --config 2:4          # build an execution plan
+    python -m repro.cli compile --autotune            # + pick kernels per layer
     python -m repro.cli serve --requests 32 --max-batch 8   # serving demo
+    python -m repro.cli serve --autotune --replicas 4       # replica-parallel
 """
 
 from __future__ import annotations
@@ -94,26 +96,44 @@ def _runtime_model(args: argparse.Namespace):
     return model, transform
 
 
+def _compile_kwargs(args: argparse.Namespace) -> dict:
+    if args.autotune and args.backend is not None:
+        raise SystemExit(
+            "--autotune and --backend are mutually exclusive: autotuning "
+            "picks the backend per layer, a fixed --backend pins it"
+        )
+    kwargs = {"autotune": args.autotune}
+    if args.backend is not None:
+        kwargs["backend"] = args.backend
+    return kwargs
+
+
 def _compile(args: argparse.Namespace) -> str:
     from repro.runtime import compile_plan
 
     model, transform = _runtime_model(args)
-    plan = compile_plan(model, transform)
+    plan = compile_plan(model, transform, **_compile_kwargs(args))
     return plan.summary()
 
 
 def _serve(args: argparse.Namespace) -> str:
     import numpy as np
 
-    from repro.runtime import PlanExecutor, ServingEngine, compile_plan
+    from repro.runtime import PlanExecutor, ReplicaExecutor, ServingEngine, compile_plan
 
     model, transform = _runtime_model(args)
-    plan = compile_plan(model, transform)
+    plan = compile_plan(model, transform, **_compile_kwargs(args))
     rng = np.random.default_rng(0)
     requests = [rng.normal(size=(args.batch, 3, 8, 8)) for _ in range(args.requests)]
-    with PlanExecutor(model, plan) as executor:
+    if args.replicas > 1:
+        executor_cm = ReplicaExecutor(model, plan, replicas=args.replicas)
+        workers = args.replicas
+    else:
+        executor_cm = PlanExecutor(model, plan)
+        workers = 1
+    with executor_cm as executor:
         with ServingEngine(
-            executor, max_batch=args.max_batch, batch_window=args.window
+            executor, max_batch=args.max_batch, batch_window=args.window, workers=workers
         ) as engine:
             futures = [engine.submit(x) for x in requests]
             for f in futures:
@@ -179,6 +199,22 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--window", type=float, default=0.002, help="micro-batching window in seconds (serve)"
+    )
+    parser.add_argument(
+        "--autotune",
+        action="store_true",
+        help="micro-benchmark GEMM backends per layer at compile time (compile/serve)",
+    )
+    parser.add_argument(
+        "--backend",
+        default=None,
+        help="fix one structured-GEMM backend for every compiled layer (compile/serve)",
+    )
+    parser.add_argument(
+        "--replicas",
+        type=int,
+        default=1,
+        help="serving model replicas; >1 enables the replica-parallel executor (serve)",
     )
     args = parser.parse_args(argv)
 

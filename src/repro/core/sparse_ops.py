@@ -58,6 +58,39 @@ class CompressedNM:
         return self.values.size * (value_bits + self.pattern.metadata_bits_per_value)
 
 
+def _stable_top_n(mag: np.ndarray, n: int) -> np.ndarray:
+    """Indices of the ``n`` largest entries per block, stably ordered.
+
+    Semantics are exactly ``np.argsort(-mag, kind="stable")[..., :n]`` —
+    descending magnitude, ties broken by ascending in-block index — but
+    computed with :func:`np.argpartition` so only the kept ``n`` slots are
+    ever fully ordered, not the whole ``m``-wide block.
+    """
+    m = mag.shape[-1]
+    if n <= 0:
+        return np.empty(mag.shape[:-1] + (0,), dtype=np.intp)
+    if n >= m:
+        return np.argsort(-mag, axis=-1, kind="stable")
+    # Select *a* top-n set (correct magnitudes, arbitrary tie membership) ...
+    cand = np.argpartition(-mag, n - 1, axis=-1)[..., :n]
+    # ... then order it stably: sorting candidate indices first makes the
+    # stable sort's tie order equal ascending original index.
+    cand.sort(axis=-1)
+    cand_mag = np.take_along_axis(mag, cand, axis=-1)
+    top = np.take_along_axis(cand, np.argsort(-cand_mag, axis=-1, kind="stable"), axis=-1)
+    # Boundary ties: if the weakest kept magnitude also occurs *outside*
+    # the kept set, argpartition may have kept the wrong (non-lowest-index)
+    # members.  Zero-magnitude boundaries are exempt — zero slots are
+    # value-0/index-0 padding after normalisation, identical either way.
+    thresh = np.take_along_axis(mag, top[..., -1:], axis=-1)
+    at_thresh_total = (mag == thresh).sum(axis=-1)
+    at_thresh_kept = (cand_mag == thresh).sum(axis=-1)
+    ambiguous = (thresh[..., 0] > 0) & (at_thresh_total > at_thresh_kept)
+    if np.any(ambiguous):
+        top[ambiguous] = np.argsort(-mag[ambiguous], axis=-1, kind="stable")[..., :n]
+    return top
+
+
 def nm_compress(a: np.ndarray, pattern: NMPattern) -> CompressedNM:
     """Compress a pattern-legal 2-D matrix into N:M format.
 
@@ -73,8 +106,7 @@ def nm_compress(a: np.ndarray, pattern: NMPattern) -> CompressedNM:
     blocks = block_view(a, pattern.m, axis=-1)  # (rows, n_blocks, m)
     mag = np.abs(blocks)
     # Stable order: non-zeros first (largest magnitude first), ties by index.
-    order = np.argsort(-mag, axis=-1, kind="stable")
-    top = order[..., : pattern.n]  # (rows, n_blocks, n)
+    top = _stable_top_n(mag, pattern.n)  # (rows, n_blocks, n)
     values = np.take_along_axis(blocks, top, axis=-1)
     indices = top.astype(np.uint8)
     # Neutralise padding slots (zero values): point them at offset 0.

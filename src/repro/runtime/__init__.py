@@ -14,8 +14,28 @@ Quickstart::
     with PlanExecutor(model, plan) as executor:
         with ServingEngine(executor, max_batch=8) as engine:
             y = engine.infer(x)                    # compile once, serve many
+
+The structured GEMMs behind every compiled forward dispatch through a
+pluggable kernel-backend registry (:mod:`repro.runtime.backends`);
+``compile_plan(..., autotune=True)`` micro-benchmarks the candidates per
+layer and records each winner in the plan.  For worker-parallel serving,
+swap the :class:`PlanExecutor` for a :class:`ReplicaExecutor`::
+
+    plan = compile_plan(model, transform, autotune=True)
+    with ReplicaExecutor(model, plan, replicas=4) as executor:
+        with ServingEngine(executor, workers=4) as engine:
+            y = engine.infer(x)                    # forwards run concurrently
 """
 
+from .autotune import AutotuneResult, autotune_operand
+from .backends import (
+    DEFAULT_BACKEND,
+    GemmBackend,
+    backend_names,
+    exact_backend_names,
+    get_backend,
+    register_backend,
+)
 from .cache import CompiledOperand, OperandCache, tensor_digest
 from .counters import (
     CacheCounters,
@@ -26,20 +46,30 @@ from .counters import (
 )
 from .executor import PlanExecutor
 from .plan import ExecutionPlan, LayerPlan, compile_plan
+from .replica import ReplicaExecutor
 from .serve import ServingEngine
 
 __all__ = [
+    "AutotuneResult",
     "CacheCounters",
     "CompiledOperand",
+    "DEFAULT_BACKEND",
     "ExecutionPlan",
     "ExecutorStats",
+    "GemmBackend",
     "LayerCounters",
     "LayerPlan",
     "OperandCache",
     "PlanExecutor",
+    "ReplicaExecutor",
     "RequestStats",
     "ServeReport",
     "ServingEngine",
+    "autotune_operand",
+    "backend_names",
     "compile_plan",
+    "exact_backend_names",
+    "get_backend",
+    "register_backend",
     "tensor_digest",
 ]

@@ -1,0 +1,105 @@
+"""Compile-time backend autotuner: micro-benchmark kernels per operand.
+
+Which GEMM backend wins depends on the layer's shape, series order, and
+how much of the gather tensor fits in cache — not something a static
+heuristic gets right across layers.  So the plan compiler measures: for
+each compiled layer it times every candidate backend on the operand
+itself against a representative right-hand side, and records the winner
+in the :class:`~repro.runtime.plan.LayerPlan`.  The cost is a handful of
+small GEMMs per layer, paid once at compile time (exactly where SparseRT
+pays its specialisation cost).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from .backends import DEFAULT_BACKEND, backend_names, exact_backend_names, get_backend
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .cache import CompiledOperand
+
+__all__ = ["AutotuneResult", "autotune_operand"]
+
+
+@dataclass(frozen=True)
+class AutotuneResult:
+    """Outcome of one operand's backend sweep."""
+
+    backend: str  # winner
+    timings: dict[str, float] = field(default_factory=dict)  # median seconds per call
+    sample_cols: int = 0
+
+    @property
+    def speedup_vs_reference(self) -> float:
+        """Winner's speedup over the reference backend (1.0 if unmeasured)."""
+        ref = self.timings.get(DEFAULT_BACKEND)
+        won = self.timings.get(self.backend)
+        if not ref or not won:
+            return 1.0
+        return ref / won
+
+    def __str__(self) -> str:
+        ranked = sorted(self.timings.items(), key=lambda kv: kv[1])
+        body = ", ".join(f"{name} {t * 1e6:.0f}us" for name, t in ranked)
+        return f"autotune[{self.sample_cols} cols]: {body}"
+
+
+def autotune_operand(
+    operand: "CompiledOperand",
+    sample_cols: int = 32,
+    repeats: int = 3,
+    backends: Sequence[str] | None = None,
+    exact_only: bool = False,
+    seed: int = 0,
+) -> AutotuneResult:
+    """Pick the fastest backend for ``operand`` on a representative shape.
+
+    ``sample_cols`` stands in for the batch dimension the layer will see
+    at serving time (output columns of the transposed GEMM); the winner is
+    shape-sensitive, so callers serving very large batches should raise
+    it.  ``exact_only`` restricts the sweep to bit-identical backends for
+    deployments that must preserve the reference arithmetic.  Each
+    candidate is warmed up once (building its prepared state, which is
+    memoised on the operand and therefore *not* billed to steady-state
+    serving) and timed over ``repeats`` calls; the median decides.  Ties
+    resolve toward registration order, i.e. toward the reference.
+    """
+    if repeats <= 0:
+        raise ValueError(f"repeats must be positive, got {repeats}")
+    if sample_cols <= 0:
+        raise ValueError(f"sample_cols must be positive, got {sample_cols}")
+    candidates = tuple(backends) if backends is not None else (
+        exact_backend_names() if exact_only else backend_names()
+    )
+    if not candidates:
+        raise ValueError("no candidate backends to autotune over")
+    rng = np.random.default_rng(seed)
+    # Sample in the dtype the operand will actually serve: a float32 model
+    # timed against a float64 right-hand side would measure upcast
+    # arithmetic the serving path never runs.
+    dtype = np.result_type(*(t.values for t in operand.terms))
+    b = rng.normal(size=(operand.padded_shape[1], sample_cols)).astype(dtype, copy=False)
+    timings: dict[str, float] = {}
+    for name in candidates:
+        get_backend(name)  # fail fast on unknown names
+        operand.matmul(b, backend=name)  # warm-up; builds memoised state
+        samples = []
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            operand.matmul(b, backend=name)
+            samples.append(time.perf_counter() - t0)
+        timings[name] = sorted(samples)[len(samples) // 2]
+    best = min(candidates, key=lambda name: timings[name])
+    # Keep only the winner's prepared state resident: losing candidates'
+    # state (dense-emulation's decompressed matrix, fused tables, ...) can
+    # dwarf the compressed operand itself, and it rebuilds lazily if a
+    # plan ever dispatches to that backend anyway.
+    for name in list(operand.backend_states):
+        if name != best:
+            operand.backend_states.pop(name, None)
+    return AutotuneResult(backend=best, timings=timings, sample_cols=sample_cols)

@@ -24,19 +24,27 @@ from repro.core.sparse_ops import (
     CompressedNM,
     nm_compress,
     nm_gather_tables,
-    nm_matmul_from_tables,
 )
 from repro.tensor.blocks import pad_to_multiple
 
+from .backends import DEFAULT_BACKEND, GemmBackend, get_backend
 from .counters import CacheCounters
 
 __all__ = ["tensor_digest", "CompiledOperand", "OperandCache"]
 
 
 def tensor_digest(a: np.ndarray) -> str:
-    """Content digest of an array: dtype + shape + raw bytes (SHA-1)."""
+    """Content digest of an array: dtype + shape + raw bytes (BLAKE2b).
+
+    BLAKE2b is measurably faster than SHA-1/SHA-2 over large buffers, and
+    this runs over the *full* tensor bytes on every activation-cache view —
+    the digest is the activation path's fixed toll.  ``digest_size=20``
+    keeps the hex length (and any persisted keys) identical to the old
+    SHA-1 digests while changing the key space, so stale cross-version
+    cache hits are impossible.
+    """
     a = np.ascontiguousarray(a)
-    h = hashlib.sha1()
+    h = hashlib.blake2b(digest_size=20)
     h.update(str(a.dtype).encode())
     h.update(str(a.shape).encode())
     h.update(a.tobytes())
@@ -61,6 +69,10 @@ class CompiledOperand:
     # row indices into the right-hand operand.
     flat_values: tuple[np.ndarray, ...] = field(repr=False)
     flat_rows: tuple[np.ndarray, ...] = field(repr=False)
+    # Memoised per-backend prepared state (fused tables, CSR arrays, ...).
+    # Mutated under the GIL only; a racing first call at worst prepares
+    # twice and keeps one result — never corrupts.
+    backend_states: dict = field(default_factory=dict, repr=False, compare=False)
 
     @property
     def order(self) -> int:
@@ -80,21 +92,31 @@ class CompiledOperand:
     def compressed_bits(self) -> float:
         return sum(t.compressed_bits for t in self.terms)
 
-    def matmul(self, b: np.ndarray) -> np.ndarray:
-        """``decompress(self) @ b`` via the structured kernels, term by term.
+    def backend_state(self, backend: GemmBackend):
+        """Memoised :meth:`GemmBackend.prepare` result for this operand."""
+        state = self.backend_states.get(backend.name)
+        if state is None and backend.name not in self.backend_states:
+            state = backend.prepare(self)
+            self.backend_states[backend.name] = state
+        return state
 
-        ``b`` must already span the padded reduction dimension.  The
-        accumulation order matches :func:`repro.core.sparse_ops.tasd_matmul`
-        exactly, so results are bit-identical to the per-call path.
+    def matmul(self, b: np.ndarray, backend: str = DEFAULT_BACKEND) -> np.ndarray:
+        """``decompress(self) @ b`` through the named kernel backend.
+
+        ``b`` must already span the padded reduction dimension.  The default
+        (reference) backend accumulates terms exactly like
+        :func:`repro.core.sparse_ops.tasd_matmul`, so its results are
+        bit-identical to the per-call path — as are all backends whose
+        ``exact`` flag is set.  The accumulator dtype follows
+        ``np.result_type`` across *all* terms' values and ``b``, so a
+        mixed-dtype series never accumulates in a too-narrow dtype.
         """
         b = np.asarray(b)
         rows, k = self.padded_shape
         if b.shape[0] != k:
             raise ValueError(f"inner dimensions mismatch: {self.padded_shape} @ {b.shape}")
-        out = np.zeros((rows, b.shape[1]), dtype=np.result_type(self.terms[0].values, b))
-        for vals, rows_idx in zip(self.flat_values, self.flat_rows):
-            out += nm_matmul_from_tables(vals, rows_idx, b)
-        return out
+        be = get_backend(backend)
+        return be.matmul(self, self.backend_state(be), b)
 
 
 def _compile_operand(matrix: np.ndarray, config: TASDConfig) -> CompiledOperand:

@@ -5,7 +5,10 @@ on the model's GEMM layers (their eval-mode forward then consumes the
 :class:`LayerPlan` instead of re-decomposing), running it times whole
 forwards and accumulates per-layer perf counters, and closing it restores
 the uncompiled model.  One lock serialises execution, so the serving
-engine's worker threads can share an executor safely.
+engine's worker threads can share an executor safely — at the cost of
+serialising their forwards.  When worker throughput should scale instead,
+use :class:`repro.runtime.replica.ReplicaExecutor`, which runs each worker
+against its own model replica sharing this same compiled plan.
 """
 
 from __future__ import annotations

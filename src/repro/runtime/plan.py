@@ -13,10 +13,18 @@ Three execution modes exist for every layer:
 - ``per_call``  — re-decompose through :func:`tasd_matmul` on every forward
   (the uncompiled baseline the benchmarks compare against);
 - ``dense``     — plain dense GEMM (layers the transform leaves dense).
+
+Compiled layers additionally carry a kernel *backend* (see
+:mod:`repro.runtime.backends`): ``LayerPlan.gemm`` is the single seam every
+structured GEMM flows through, and the backend name chooses which kernel
+implementation serves it.  ``compile_plan(..., autotune=True)`` picks the
+backend per layer by micro-benchmark; the winner is visible in
+``plan.summary()``.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from dataclasses import dataclass, field
 
@@ -35,6 +43,8 @@ from repro.tasder.transform import (
 )
 from repro.tensor.blocks import pad_to_multiple
 
+from .autotune import AutotuneResult, autotune_operand
+from .backends import DEFAULT_BACKEND, get_backend
 from .cache import CompiledOperand, OperandCache
 from .counters import LayerCounters
 
@@ -62,6 +72,8 @@ class LayerPlan:
     operand: CompiledOperand | None  # compressed weights (compiled mode)
     dense_weight: np.ndarray | None  # weight matrix (dense / per-call modes)
     cache: OperandCache | None = None
+    backend: str = DEFAULT_BACKEND  # structured-GEMM kernel (compiled mode)
+    autotune: AutotuneResult | None = None  # sweep that chose the backend
     counters: LayerCounters = field(default_factory=LayerCounters)
 
     def __post_init__(self) -> None:
@@ -71,6 +83,8 @@ class LayerPlan:
             raise ValueError("compiled mode requires a compiled operand")
         if self.mode in ("per_call", "dense") and self.dense_weight is None:
             raise ValueError(f"{self.mode} mode requires the dense weight matrix")
+        if self.mode == "compiled":
+            get_backend(self.backend)  # fail at build time, not mid-forward
 
     # ------------------------------------------------------------------ #
     @property
@@ -102,7 +116,7 @@ class LayerPlan:
             xt = x2.T
             if xt.shape[0] != self.operand.padded_shape[1]:
                 xt = pad_to_multiple(xt, self.weight_config.block_lcm, axis=0)
-            y = self.operand.matmul(xt).T
+            y = self.operand.matmul(xt, backend=self.backend).T
             structured = self.operand.slots * batch_rows
         elif self.mode == "per_call":
             w = self.dense_weight
@@ -127,9 +141,13 @@ class LayerPlan:
         storage = "-"
         if self.operand is not None:
             storage = f"{self.operand.total_nnz} nnz / {self.operand.compressed_bits / 8192:.1f} KiB"
+        backend = self.backend if self.mode == "compiled" else "-"
+        if self.autotune is not None:
+            backend += f" ({self.autotune.speedup_vs_reference:.1f}x ref)"
         return (
             f"{self.name:<28s} {self.kind:<7s} {self.mode:<9s} "
-            f"W={str(self.weight_config):<10s} A={str(self.activation_config):<10s} {storage}"
+            f"W={str(self.weight_config):<10s} A={str(self.activation_config):<10s} "
+            f"{backend:<28s} {storage}"
         )
 
 
@@ -156,21 +174,47 @@ class ExecutionPlan:
         for plan in self.layers.values():
             plan.counters.reset()
 
+    def backend_choices(self) -> dict[str, str]:
+        """Kernel backend per *compiled* layer (autotune / CI smoke hook)."""
+        return {
+            name: plan.backend
+            for name, plan in self.layers.items()
+            if plan.mode == "compiled"
+        }
+
+    def clone_layer_plans(self) -> dict[str, LayerPlan]:
+        """Per-replica layer plans: shared operands, private counters.
+
+        Everything expensive (compressed terms, gather tables, backend
+        state, the operand cache) is shared by reference — operands are
+        immutable — while each clone gets its own :class:`LayerCounters`
+        so concurrent replicas never race on the hot-path counters.
+        """
+        return {
+            name: dataclasses.replace(plan, counters=LayerCounters())
+            for name, plan in self.layers.items()
+        }
+
     # ------------------------------------------------------------------ #
-    def install(self, model: Module) -> None:
+    def install(self, model: Module, layer_plans: dict[str, LayerPlan] | None = None) -> None:
         """Attach layer plans to the model's GEMM layers (the fast path).
 
         Any TASD transform applied via ``tasder.apply`` is cleared first:
         the plan subsumes both the weight and activation sides, and leaving
         the transform's forward wrappers in place would decompose every
-        activation twice per request.
+        activation twice per request.  ``layer_plans`` substitutes a clone
+        set (see :meth:`clone_layer_plans`) — the replica executor installs
+        one clone set per model replica.
         """
+        plans = layer_plans if layer_plans is not None else self.layers
+        if set(plans) != set(self.layers):
+            raise KeyError("layer_plans must cover exactly the plan's layers")
         layers = dict(gemm_layers(model, include_head=True))
-        missing = set(self.layers) - set(layers)
+        missing = set(plans) - set(layers)
         if missing:
             raise KeyError(f"plan names layers the model lacks: {sorted(missing)}")
         clear_transform(model)
-        for name, plan in self.layers.items():
+        for name, plan in plans.items():
             layers[name].set_compiled_plan(plan)
 
     def uninstall(self, model: Module) -> None:
@@ -200,6 +244,12 @@ def compile_plan(
     cache: OperandCache | None = None,
     mode: str = "compiled",
     cache_activations: bool = False,
+    backend: str = DEFAULT_BACKEND,
+    autotune: bool = False,
+    autotune_cols: int = 32,
+    autotune_repeats: int = 3,
+    autotune_backends: tuple[str, ...] | None = None,
+    autotune_exact_only: bool = False,
 ) -> ExecutionPlan:
     """Compile a model + transform into an :class:`ExecutionPlan`.
 
@@ -209,6 +259,12 @@ def compile_plan(
     executor's counters cover the whole network.  ``mode="per_call"``
     builds the uncompiled baseline instead (no compression at build time;
     every forward re-decomposes through ``tasd_matmul``).
+
+    ``backend`` fixes the structured-GEMM kernel for every compiled layer;
+    ``autotune=True`` instead micro-benchmarks the candidate backends per
+    layer (see :func:`repro.runtime.autotune.autotune_operand`) and records
+    each winner — ``autotune_exact_only`` restricts the sweep to backends
+    bit-identical to the reference kernel.
 
     ``cache_activations`` routes dynamic TASD-A views through the operand
     cache too.  Off by default: it only pays when identical activations
@@ -231,6 +287,16 @@ def compile_plan(
             layer_mode, operand, dense_weight = "per_call", None, w
         else:
             layer_mode, operand, dense_weight = "compiled", cache.compress(w, weight_config), None
+        layer_backend, sweep = backend, None
+        if autotune and layer_mode == "compiled":
+            sweep = autotune_operand(
+                operand,
+                sample_cols=autotune_cols,
+                repeats=autotune_repeats,
+                backends=autotune_backends,
+                exact_only=autotune_exact_only,
+            )
+            layer_backend = sweep.backend
         plans[name] = LayerPlan(
             name=name,
             kind=_layer_kind(layer),
@@ -241,6 +307,8 @@ def compile_plan(
             operand=operand,
             dense_weight=dense_weight,
             cache=cache if cache_activations else None,
+            backend=layer_backend,
+            autotune=sweep,
         )
     return ExecutionPlan(
         layers=plans,

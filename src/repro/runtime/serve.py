@@ -3,8 +3,11 @@
 Requests are single inputs (or small batches) submitted from any thread.
 Workers coalesce up to ``max_batch`` queued requests within a
 ``batch_window`` seconds time window into one micro-batch, run it through
-the shared :class:`PlanExecutor`, split the outputs back per request, and
-resolve each request's future with its result and latency stats.
+the shared executor, split the outputs back per request, and resolve each
+request's future with its result and latency stats.  The executor is
+duck-typed: a :class:`PlanExecutor` serialises worker forwards on its
+lock, while a :class:`~repro.runtime.replica.ReplicaExecutor` lets up to
+``replicas`` workers execute concurrently, each on its own model replica.
 
 Micro-batching preserves results exactly: the model is batch-linear (every
 layer treats the leading axis as independent samples), so serving a request
@@ -19,11 +22,15 @@ import threading
 import time
 from concurrent.futures import Future
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from .counters import RequestStats, ServeReport
 from .executor import PlanExecutor
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .replica import ReplicaExecutor
 
 __all__ = ["ServingEngine"]
 
@@ -41,20 +48,23 @@ class ServingEngine:
 
     Parameters
     ----------
-    executor : PlanExecutor
-        Shared executor; its internal lock serialises model forwards, so
-        multiple workers overlap only queueing/splitting work.
+    executor : PlanExecutor | ReplicaExecutor
+        Shared executor.  A :class:`PlanExecutor`'s internal lock
+        serialises model forwards (workers overlap only queueing and
+        splitting); a :class:`ReplicaExecutor` runs workers' forwards
+        concurrently, one model replica each.
     max_batch : int
         Maximum requests coalesced into one micro-batch.
     batch_window : float
         Seconds a worker waits for additional requests after the first.
     workers : int
-        Worker threads draining the queue.
+        Worker threads draining the queue.  Pair ``workers=N`` with
+        ``ReplicaExecutor(..., replicas=N)`` to scale throughput.
     """
 
     def __init__(
         self,
-        executor: PlanExecutor,
+        executor: "PlanExecutor | ReplicaExecutor",
         max_batch: int = 8,
         batch_window: float = 0.002,
         workers: int = 1,

@@ -140,16 +140,19 @@ class Tasder:
         apply_activation_transform(self.model, transform.activation_configs)
         return self.model
 
-    def compile(self, result: "TasderResult | TASDTransform", cache=None):
+    def compile(self, result: "TasderResult | TASDTransform", cache=None, **plan_kwargs):
         """Compile a search result (or bare transform) into an execution plan.
 
         Weights are decomposed and compressed exactly once, at compile time;
         the returned :class:`repro.runtime.plan.ExecutionPlan` serves many
         requests through :class:`repro.runtime.executor.PlanExecutor`.
+        Extra keyword arguments pass through to
+        :func:`repro.runtime.plan.compile_plan` — e.g. ``autotune=True`` to
+        pick structured-GEMM kernel backends per layer.
         """
         # Imported lazily: repro.runtime depends on this package.
         from repro.runtime.plan import compile_plan
 
         transform = result.transform if isinstance(result, TasderResult) else result
         clear_transform(self.model)
-        return compile_plan(self.model, transform, cache=cache)
+        return compile_plan(self.model, transform, cache=cache, **plan_kwargs)

@@ -55,3 +55,11 @@ class TestCli:
         for name in ("table1", "table2", "table3", "table4", "fig12", "fig15",
                       "fig17", "fig18", "fig19"):
             assert name in COMMANDS
+
+    def test_autotune_and_backend_are_mutually_exclusive(self):
+        with pytest.raises(SystemExit, match="mutually exclusive"):
+            main(["compile", "--autotune", "--backend", "fused-gather"])
+
+    def test_compile_with_fixed_backend(self, capsys):
+        assert main(["compile", "--backend", "fused-gather", "--sparsity", "0.5"]) == 0
+        assert "fused-gather" in capsys.readouterr().out

@@ -1,0 +1,199 @@
+"""Tests for the replica-parallel executor.
+
+The contract: a :class:`ReplicaExecutor` is observationally identical to a
+:class:`PlanExecutor` over the same compiled plan — bit-identical outputs,
+merged counters — while never touching the source model and never holding
+a lock across a forward.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import TASDConfig
+from repro.nn.models.resnet import resnet18
+from repro.pruning.magnitude import global_magnitude_prune
+from repro.pruning.targets import gemm_layers
+from repro.runtime import (
+    PlanExecutor,
+    ReplicaExecutor,
+    ServingEngine,
+    compile_plan,
+)
+from repro.tasder.transform import TASDTransform
+
+CFG = TASDConfig.parse("2:4")
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    model = resnet18(num_classes=10, base_width=16)
+    global_magnitude_prune(model, 0.6)
+    transform = TASDTransform(
+        weight_configs={name: CFG for name, _ in gemm_layers(model)}
+    )
+    plan = compile_plan(model, transform)
+    return model, plan
+
+
+@pytest.fixture()
+def batch():
+    return np.random.default_rng(21).normal(size=(2, 3, 8, 8))
+
+
+def test_outputs_bit_identical_to_plan_executor(compiled, batch):
+    model, plan = compiled
+    with PlanExecutor(model, plan) as ex:
+        ref = ex.run(batch)
+    with ReplicaExecutor(model, plan, replicas=3) as rex:
+        outs = rex.run_many([batch] * 4)
+    for out in outs:
+        np.testing.assert_array_equal(out, ref)
+
+
+def test_source_model_is_never_modified(compiled, batch):
+    model, plan = compiled
+    with ReplicaExecutor(model, plan, replicas=2) as rex:
+        rex.run(batch)
+        for _, layer in gemm_layers(model, include_head=True):
+            assert layer.compiled_plan is None
+    # ... and the model still trains/evaluates uncompiled afterwards.
+    assert model(batch).shape == (2, 10)
+
+
+def test_replicas_share_weight_storage(compiled):
+    model, plan = compiled
+    rex = ReplicaExecutor(model, plan, replicas=2).install()
+    try:
+        replica = rex._pool.get()
+        for src, dst in zip(model.parameters(), replica.parameters()):
+            assert dst.data is src.data
+        rex._pool.put(replica)
+    finally:
+        rex.close()
+
+
+def test_stats_merge_across_replicas(compiled, batch):
+    model, plan = compiled
+    with ReplicaExecutor(model, plan, replicas=3) as rex:
+        rex.run_many([batch] * 5)
+        stats = rex.stats()
+    assert stats.batches == 5
+    assert stats.samples == 10
+    # Every layer was called exactly once per batch, regardless of which
+    # replica served it.
+    assert all(c.calls == 5 for c in stats.layers.values())
+    assert stats.total.structured_macs > 0
+    assert stats.wall_time > 0
+
+
+def test_reset_stats(compiled, batch):
+    model, plan = compiled
+    with ReplicaExecutor(model, plan, replicas=2) as rex:
+        rex.run(batch)
+        rex.reset_stats()
+        stats = rex.stats()
+    assert stats.batches == 0 and stats.samples == 0
+    assert all(c.calls == 0 for c in stats.layers.values())
+
+
+def test_stats_survive_close(compiled, batch):
+    """Post-close stats keep the accumulated counters, like PlanExecutor."""
+    model, plan = compiled
+    rex = ReplicaExecutor(model, plan, replicas=2)
+    with rex:
+        rex.run_many([batch] * 3)
+    stats = rex.stats()
+    assert stats.batches == 3
+    assert all(c.calls == 3 for c in stats.layers.values())
+    # A fresh generation after reinstall merges on top of the old counters.
+    rex.run(batch)
+    stats = rex.stats()
+    assert stats.batches == 4
+    assert all(c.calls == 4 for c in stats.layers.values())
+    rex.close()
+
+
+def test_run_racing_close_never_hangs(compiled, batch):
+    """run() overlapping close() must resolve (reinstall), not block forever."""
+    model, plan = compiled
+    rex = ReplicaExecutor(model, plan, replicas=2)
+    rex.install()
+    results = []
+
+    def hammer():
+        for _ in range(3):
+            results.append(rex.run(batch))
+
+    threads = [threading.Thread(target=hammer) for _ in range(3)]
+    for t in threads:
+        t.start()
+    rex.close()  # races the hammer threads on purpose
+    for t in threads:
+        t.join(timeout=60.0)
+    assert not any(t.is_alive() for t in threads)
+    assert len(results) == 9
+    for out in results:
+        assert out.shape == (2, 10)
+    rex.close()
+
+
+def test_lazy_install_and_reinstall_after_close(compiled, batch):
+    model, plan = compiled
+    rex = ReplicaExecutor(model, plan, replicas=2)
+    out = rex.run(batch)  # installs lazily, like PlanExecutor.run
+    assert out.shape == (2, 10)
+    rex.close()
+    out2 = rex.run(batch)  # close() then run() reinstalls
+    np.testing.assert_array_equal(out2, out)
+    rex.close()
+    rex.close()  # idempotent
+
+
+def test_concurrent_runs_are_consistent(compiled, batch):
+    """Hammer the pool from more threads than replicas; results must match."""
+    model, plan = compiled
+    with PlanExecutor(model, plan) as ex:
+        ref = ex.run(batch)
+    results = [None] * 8
+    with ReplicaExecutor(model, plan, replicas=3) as rex:
+        def work(i):
+            results[i] = rex.run(batch)
+
+        threads = [threading.Thread(target=work, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        stats = rex.stats()
+    for out in results:
+        np.testing.assert_array_equal(out, ref)
+    assert stats.batches == 8
+    assert all(c.calls == 8 for c in stats.layers.values())
+
+
+def test_serving_engine_with_replica_workers(compiled):
+    model, plan = compiled
+    rng = np.random.default_rng(22)
+    inputs = [rng.normal(size=(1, 3, 8, 8)) for _ in range(12)]
+    with PlanExecutor(model, plan) as ex:
+        singles = [ex.run(x) for x in inputs]
+    with ReplicaExecutor(model, plan, replicas=4) as rex:
+        with ServingEngine(rex, max_batch=3, batch_window=0.01, workers=4) as engine:
+            futures = [engine.submit(x) for x in inputs]
+            outputs = [f.result(timeout=60.0) for f in futures]
+    report = engine.report()
+    assert report.count == 12
+    # Micro-batching changes the GEMM width, so this is allclose rather than
+    # bitwise (same tolerance as the single-executor serving tests).
+    for single, served in zip(singles, outputs):
+        np.testing.assert_allclose(served, single, atol=1e-12)
+
+
+def test_invalid_replica_count(compiled):
+    model, plan = compiled
+    with pytest.raises(ValueError, match="replicas"):
+        ReplicaExecutor(model, plan, replicas=0)
