@@ -13,6 +13,10 @@ compiled path by >= 1.5x on the same serving workload, and the replica
 benches track how serving throughput scales when each engine worker gets
 its own model replica (asserted >= 1.5x for 4 workers where the machine
 has cores to scale onto).
+
+``test_runtime_plan_persistence_warm_restart`` fences the restart story:
+loading a persisted plan artifact must be >= 5x faster than compile +
+autotune, with identical backend choices and bit-identical served outputs.
 """
 
 from __future__ import annotations
@@ -34,6 +38,7 @@ from repro.runtime import (
     ServingEngine,
     backend_names,
     compile_plan,
+    load_plan,
 )
 from repro.tasder.transform import TASDTransform
 
@@ -62,6 +67,14 @@ def serving_setup():
 def test_bench_plan_build(benchmark, serving_setup):
     model, transform, _ = serving_setup
     plan = benchmark(compile_plan, model, transform, OperandCache(capacity=64))
+    assert plan.total_nnz > 0
+
+
+def test_bench_plan_load(benchmark, serving_setup, tmp_path):
+    """Warm-restart cost: deserializing a persisted plan from disk."""
+    model, transform, _ = serving_setup
+    path = compile_plan(model, transform).save(tmp_path / "plan.npz")
+    plan = benchmark(load_plan, path, model)
     assert plan.total_nnz > 0
 
 
@@ -198,6 +211,38 @@ def test_runtime_autotune_speedup(serving_setup):
     # non-reference winner (CI smoke asserts the same on a fresh machine).
     assert non_reference >= 1
     assert speedup >= 1.5, f"autotuned plan only {speedup:.2f}x faster than reference"
+
+
+def test_runtime_plan_persistence_warm_restart(serving_setup, tmp_path):
+    """Acceptance fence: plan load >= 5x faster than compile + autotune.
+
+    The whole point of persistence — a restarted server skips
+    re-decomposition, re-compression, and re-micro-benchmarking.  The
+    loaded plan must also be *the same plan*: identical ``backend_choices``
+    and bit-identical served outputs.
+    """
+    model, transform, x = serving_setup
+    t0 = time.perf_counter()
+    plan = compile_plan(model, transform, autotune=True, autotune_repeats=2)
+    compile_time = time.perf_counter() - t0
+    path = plan.save(tmp_path / "plan.npz")
+    load_plan(path, model)  # warm the file cache / import paths
+    t0 = time.perf_counter()
+    loaded = load_plan(path, model)
+    load_time = time.perf_counter() - t0
+    speedup = compile_time / load_time
+    print(
+        f"\ncompile+autotune {compile_time * 1e3:.1f} ms vs plan load "
+        f"{load_time * 1e3:.1f} ms -> {speedup:.1f}x "
+        f"({path.stat().st_size / 1024:.0f} KiB artifact)"
+    )
+    assert loaded.backend_choices() == plan.backend_choices()
+    with PlanExecutor(model, plan) as executor:
+        fresh = executor.run(x)
+    with PlanExecutor(model, loaded) as executor:
+        warm = executor.run(x)
+    np.testing.assert_array_equal(warm, fresh)
+    assert speedup >= 5.0, f"plan load only {speedup:.1f}x faster than compile+autotune"
 
 
 def test_runtime_compiled_speedup(serving_setup):

@@ -7,8 +7,16 @@ kernel backend per layer (micro-benchmarking the registry of structured
 GEMM implementations), and serving runs replica-parallel: each engine
 worker executes on its own model replica sharing the one compiled plan.
 
+The compiled plan also *persists*: it is saved to a digest-keyed ``.npz``
+artifact and reloaded as a warm restart would — no re-decomposition, no
+re-tuning, identical backend choices — which is how a production server
+skips the compile cost after a process restart.
+
 Run:  python examples/serve_resnet.py
 """
+
+import tempfile
+from pathlib import Path
 
 import numpy as np
 
@@ -16,7 +24,13 @@ from repro.core import TASDConfig
 from repro.nn.models.resnet import resnet18
 from repro.pruning.magnitude import global_magnitude_prune
 from repro.pruning.targets import gemm_layers
-from repro.runtime import OperandCache, ReplicaExecutor, ServingEngine, compile_plan
+from repro.runtime import (
+    OperandCache,
+    ReplicaExecutor,
+    ServingEngine,
+    compile_plan,
+    load_plan,
+)
 from repro.tasder.transform import TASDTransform
 
 # ---------------------------------------------------------------------------
@@ -40,7 +54,21 @@ plan = compile_plan(model, transform, cache=cache, autotune=True)
 print(plan.summary(), "\n")
 
 # ---------------------------------------------------------------------------
-# 3. Serve replica-parallel: four engine workers, each with its own model
+# 3. Persist + warm-restart: save the compiled artifact (operands, gather
+#    tables, autotuned backend choices, keyed by weight digests) and reload
+#    it the way a restarted server would — milliseconds instead of a full
+#    recompile + re-tune, with the per-layer kernel choices preserved.
+# ---------------------------------------------------------------------------
+fresh_choices = plan.backend_choices()
+with tempfile.TemporaryDirectory() as tmpdir:
+    artifact = Path(tmpdir) / "resnet18_plan.npz"
+    plan.save(artifact)
+    plan = load_plan(artifact, model)
+    print(f"plan reloaded from {artifact} in {plan.build_time * 1e3:.1f} ms\n")
+assert plan.backend_choices() == fresh_choices  # tuning survived the restart
+
+# ---------------------------------------------------------------------------
+# 4. Serve replica-parallel: four engine workers, each with its own model
 #    replica (weights aliased, operands shared) — no executor lock.
 # ---------------------------------------------------------------------------
 rng = np.random.default_rng(0)

@@ -12,6 +12,15 @@ Usage::
     python -m repro.cli compile --autotune            # + pick kernels per layer
     python -m repro.cli serve --requests 32 --max-batch 8   # serving demo
     python -m repro.cli serve --autotune --replicas 4       # replica-parallel
+
+Compiled plans persist across restarts: ``compile --autotune --save-plan
+plan.npz`` pays decomposition + tuning once and writes a digest-keyed
+artifact; ``compile --plan plan.npz`` / ``serve --plan plan.npz`` reload
+it in milliseconds (autotuned backend choices included) and refuse models
+whose weights have drifted::
+
+    python -m repro.cli compile --autotune --save-plan plan.npz
+    python -m repro.cli serve --plan plan.npz --requests 32
 """
 
 from __future__ import annotations
@@ -89,40 +98,89 @@ def _runtime_model(args: argparse.Namespace):
 
     model = resnet18(num_classes=10, base_width=16)
     global_magnitude_prune(model, args.sparsity)
-    config = TASDConfig.parse(args.config)
+    config = TASDConfig.parse(args.config if args.config is not None else "2:4")
     transform = TASDTransform(
         weight_configs={name: config for name, _ in gemm_layers(model)}
     )
     return model, transform
 
 
-def _compile_kwargs(args: argparse.Namespace) -> dict:
+def _check_runtime_flags(args: argparse.Namespace) -> None:
+    """Reject bad flag combinations before paying the model-build cost."""
+    if args.plan is not None:
+        if args.autotune or args.backend is not None or args.config is not None:
+            raise SystemExit(
+                "--plan loads a persisted plan (series config and backend "
+                "choices included); --autotune / --backend / --config only "
+                "apply when compiling"
+            )
+        return
     if args.autotune and args.backend is not None:
         raise SystemExit(
             "--autotune and --backend are mutually exclusive: autotuning "
             "picks the backend per layer, a fixed --backend pins it"
         )
+    if args.backend is not None:
+        from repro.runtime.backends import backend_names
+
+        if args.backend not in backend_names():
+            raise SystemExit(
+                f"unknown --backend {args.backend!r}; valid backends: "
+                + ", ".join(backend_names())
+            )
+
+
+def _compile_kwargs(args: argparse.Namespace) -> dict:
     kwargs = {"autotune": args.autotune}
     if args.backend is not None:
         kwargs["backend"] = args.backend
     return kwargs
 
 
-def _compile(args: argparse.Namespace) -> str:
+def _plan_for(args: argparse.Namespace, model, transform):
+    """Build (or load, with ``--plan``) the execution plan the command runs."""
+    if args.plan is not None:
+        from repro.runtime import PlanDigestError, PlanFormatError, load_plan
+
+        try:
+            return load_plan(args.plan, model)
+        except FileNotFoundError:
+            raise SystemExit(f"plan artifact not found: {args.plan}") from None
+        except (PlanFormatError, PlanDigestError) as exc:
+            raise SystemExit(f"cannot load plan {args.plan}: {exc}") from None
     from repro.runtime import compile_plan
 
+    return compile_plan(model, transform, **_compile_kwargs(args))
+
+
+def _save_plan_or_exit(plan, path):
+    try:
+        return plan.save(path)
+    except OSError as exc:
+        raise SystemExit(f"cannot save plan to {path}: {exc}") from None
+
+
+def _compile(args: argparse.Namespace) -> str:
+    _check_runtime_flags(args)
     model, transform = _runtime_model(args)
-    plan = compile_plan(model, transform, **_compile_kwargs(args))
-    return plan.summary()
+    plan = _plan_for(args, model, transform)
+    lines = [plan.summary()]
+    if args.save_plan is not None:
+        path = _save_plan_or_exit(plan, args.save_plan)
+        lines.append(f"plan saved to {path} (reload with --plan {path})")
+    return "\n".join(lines)
 
 
 def _serve(args: argparse.Namespace) -> str:
     import numpy as np
 
-    from repro.runtime import PlanExecutor, ReplicaExecutor, ServingEngine, compile_plan
+    from repro.runtime import PlanExecutor, ReplicaExecutor, ServingEngine
 
+    _check_runtime_flags(args)
     model, transform = _runtime_model(args)
-    plan = compile_plan(model, transform, **_compile_kwargs(args))
+    plan = _plan_for(args, model, transform)
+    if args.save_plan is not None:
+        _save_plan_or_exit(plan, args.save_plan)
     rng = np.random.default_rng(0)
     requests = [rng.normal(size=(args.batch, 3, 8, 8)) for _ in range(args.requests)]
     if args.replicas > 1:
@@ -186,7 +244,9 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--batch", type=int, default=1, help="batch size where applicable")
     parser.add_argument(
-        "--config", default="2:4", help="TASD series for runtime commands (e.g. 2:4+1:4)"
+        "--config",
+        default=None,
+        help="TASD series for runtime commands (e.g. 2:4+1:4; default 2:4)",
     )
     parser.add_argument(
         "--sparsity", type=float, default=0.6, help="magnitude-pruning sparsity (runtime)"
@@ -215,6 +275,21 @@ def main(argv: list[str] | None = None) -> int:
         type=int,
         default=1,
         help="serving model replicas; >1 enables the replica-parallel executor (serve)",
+    )
+    parser.add_argument(
+        "--save-plan",
+        default=None,
+        metavar="PATH",
+        help="persist the compiled plan (operands, gather tables, autotuned "
+        "backend choices) to a .npz artifact after compiling (compile/serve)",
+    )
+    parser.add_argument(
+        "--plan",
+        default=None,
+        metavar="PATH",
+        help="load a plan saved with --save-plan instead of recompiling/"
+        "re-tuning; refuses artifacts whose weight digests do not match "
+        "the model (compile/serve)",
     )
     args = parser.parse_args(argv)
 

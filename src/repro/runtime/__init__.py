@@ -25,6 +25,12 @@ swap the :class:`PlanExecutor` for a :class:`ReplicaExecutor`::
     with ReplicaExecutor(model, plan, replicas=4) as executor:
         with ServingEngine(executor, workers=4) as engine:
             y = engine.infer(x)                    # forwards run concurrently
+
+Compiled plans persist across restarts (:mod:`repro.runtime.planio`):
+``plan.save("plan.npz")`` writes a digest-keyed artifact and
+``load_plan("plan.npz", model)`` rebuilds the plan — compressed operands,
+gather tables, and autotuned backend choices included — without
+re-decomposing or re-tuning, refusing models whose weights have drifted.
 """
 
 from .autotune import AutotuneResult, autotune_operand
@@ -46,6 +52,13 @@ from .counters import (
 )
 from .executor import PlanExecutor
 from .plan import ExecutionPlan, LayerPlan, compile_plan
+from .planio import (
+    PlanDigestError,
+    PlanFormatError,
+    load_plan,
+    model_fingerprint,
+    save_plan,
+)
 from .replica import ReplicaExecutor
 from .serve import ServingEngine
 
@@ -60,7 +73,9 @@ __all__ = [
     "LayerCounters",
     "LayerPlan",
     "OperandCache",
+    "PlanDigestError",
     "PlanExecutor",
+    "PlanFormatError",
     "ReplicaExecutor",
     "RequestStats",
     "ServeReport",
@@ -70,6 +85,9 @@ __all__ = [
     "compile_plan",
     "exact_backend_names",
     "get_backend",
+    "load_plan",
+    "model_fingerprint",
     "register_backend",
+    "save_plan",
     "tensor_digest",
 ]

@@ -36,11 +36,21 @@ class AutotuneResult:
 
     @property
     def speedup_vs_reference(self) -> float:
-        """Winner's speedup over the reference backend (1.0 if unmeasured)."""
+        """Winner's speedup over the reference backend (1.0 if unmeasured).
+
+        "Unmeasured" means a timing is *absent* from the sweep — a
+        legitimately measured 0.0 s median (timer resolution on tiny
+        layers) is a real measurement, not a missing one, so it must not
+        collapse the ratio to 1.0.  A zero-time winner against a non-zero
+        reference is unboundedly fast (``inf``); two zero medians are
+        indistinguishable (1.0).
+        """
         ref = self.timings.get(DEFAULT_BACKEND)
         won = self.timings.get(self.backend)
-        if not ref or not won:
-            return 1.0
+        if ref is None or won is None:
+            return 1.0  # reference or winner never timed in this sweep
+        if won == 0.0:
+            return 1.0 if ref == 0.0 else float("inf")
         return ref / won
 
     def __str__(self) -> str:

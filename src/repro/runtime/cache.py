@@ -166,6 +166,13 @@ class OperandCache:
         with self._lock:
             self._store.clear()
 
+    def _insert(self, key: tuple, value: object) -> None:
+        """Store ``key`` and evict LRU entries past capacity.  Lock held by caller."""
+        self._store[key] = value
+        while len(self._store) > self.capacity:
+            self._store.popitem(last=False)
+            self.counters.evictions += 1
+
     def _get_or_build(self, key: tuple, build) -> object:
         with self._lock:
             if key in self._store:
@@ -180,18 +187,55 @@ class OperandCache:
                 self._store.move_to_end(key)
                 self.counters.misses += 1
                 return self._store[key]
-            self._store[key] = value
             self.counters.misses += 1
-            while len(self._store) > self.capacity:
-                self._store.popitem(last=False)
-                self.counters.evictions += 1
+            self._insert(key, value)
         return value
 
     # ------------------------------------------------------------------ #
-    def compress(self, matrix: np.ndarray, config: TASDConfig) -> CompiledOperand:
-        """Compiled (decomposed + compressed) form of a 2-D matrix."""
-        key = ("compress", tensor_digest(matrix), str(config))
+    def compress(
+        self, matrix: np.ndarray, config: TASDConfig, digest: str | None = None
+    ) -> CompiledOperand:
+        """Compiled (decomposed + compressed) form of a 2-D matrix.
+
+        ``digest`` lets a caller that already hashed ``matrix`` (the plan
+        compiler records it per layer) skip the second full-tensor pass; it
+        must be ``tensor_digest(matrix)`` or the content addressing breaks.
+        """
+        key = ("compress", digest if digest is not None else tensor_digest(matrix), str(config))
         return self._get_or_build(key, lambda: _compile_operand(matrix, config))
+
+    def adopt(self, digest: str, config: TASDConfig, operand: CompiledOperand) -> CompiledOperand:
+        """Register a precompiled operand under its source weight's digest.
+
+        The plan-persistence path (:mod:`repro.runtime.planio`) rebuilds
+        operands from disk and re-registers them here, so later
+        ``compress`` calls on the same weight hit instead of re-deriving.
+        Counted as neither hit nor miss — nothing was looked up or built.
+        If the key is already resident, the incumbent wins (plans sharing
+        this cache keep sharing one object by identity).
+        """
+        key = ("compress", digest, str(config))
+        with self._lock:
+            incumbent = self._store.get(key)
+            if incumbent is not None:
+                self._store.move_to_end(key)
+                return incumbent
+            self._insert(key, operand)
+        return operand
+
+    def digest_of(self, operand: CompiledOperand) -> str | None:
+        """Reverse lookup: the source-weight digest a resident operand is keyed by.
+
+        Identity-based — returns ``None`` when the operand was never stored
+        here or has been evicted.  This is how plan persistence recovers a
+        compiled layer's original weight digest without keeping the dense
+        weight around.
+        """
+        with self._lock:
+            for key, value in self._store.items():
+                if value is operand and key[0] == "compress":
+                    return key[1]
+        return None
 
     def view(self, x: np.ndarray, config: TASDConfig, axis: int = -1) -> np.ndarray:
         """Cached TASD series view of ``x`` (the dynamic-activation path)."""

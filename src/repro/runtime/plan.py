@@ -27,6 +27,7 @@ from __future__ import annotations
 import dataclasses
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
@@ -45,7 +46,7 @@ from repro.tensor.blocks import pad_to_multiple
 
 from .autotune import AutotuneResult, autotune_operand
 from .backends import DEFAULT_BACKEND, get_backend
-from .cache import CompiledOperand, OperandCache
+from .cache import CompiledOperand, OperandCache, tensor_digest
 from .counters import LayerCounters
 
 __all__ = ["LayerPlan", "ExecutionPlan", "compile_plan"]
@@ -74,6 +75,7 @@ class LayerPlan:
     cache: OperandCache | None = None
     backend: str = DEFAULT_BACKEND  # structured-GEMM kernel (compiled mode)
     autotune: AutotuneResult | None = None  # sweep that chose the backend
+    weight_digest: str | None = None  # content digest of the source weight
     counters: LayerCounters = field(default_factory=LayerCounters)
 
     def __post_init__(self) -> None:
@@ -111,6 +113,14 @@ class LayerPlan:
     def gemm(self, x2: np.ndarray) -> np.ndarray:
         """Execute this layer's GEMM: ``x2 @ W_eff.T`` through the plan."""
         t0 = time.perf_counter()
+        if x2.ndim != 2 or x2.shape[1] != self.reduction:
+            # Never silently zero-pad a wrong-width input up to the padded
+            # reduction: an (rows, k-1) block would "work" and compute
+            # garbage.  Only the exact reduction width is a valid GEMM.
+            raise ValueError(
+                f"layer {self.name!r} expects GEMM input of shape "
+                f"(rows, {self.reduction}), got {x2.shape}"
+            )
         batch_rows = x2.shape[0]
         if self.mode == "compiled":
             xt = x2.T
@@ -194,6 +204,19 @@ class ExecutionPlan:
             name: dataclasses.replace(plan, counters=LayerCounters())
             for name, plan in self.layers.items()
         }
+
+    # ------------------------------------------------------------------ #
+    def save(self, path) -> Path:
+        """Persist this plan to a single ``.npz`` + JSON-manifest artifact.
+
+        The artifact is keyed by the content digests of the weights the
+        plan was compiled from; :func:`repro.runtime.planio.load_plan`
+        rebuilds the plan from it in milliseconds and refuses models whose
+        weights have drifted.
+        """
+        from .planio import save_plan
+
+        return save_plan(self, path)
 
     # ------------------------------------------------------------------ #
     def install(self, model: Module, layer_plans: dict[str, LayerPlan] | None = None) -> None:
@@ -281,12 +304,16 @@ def compile_plan(
         weight_config = transform.weight_configs.get(name, DENSE_CONFIG)
         activation_config = transform.activation_configs.get(name, DENSE_CONFIG)
         w = layer.weight_matrix()
+        # Hashed once per layer: the digest is both the cache key and the
+        # identity plan persistence verifies restarts against.
+        w_digest = tensor_digest(w)
         if weight_config.is_dense:
             layer_mode, operand, dense_weight = "dense", None, w
         elif mode == "per_call":
             layer_mode, operand, dense_weight = "per_call", None, w
         else:
-            layer_mode, operand, dense_weight = "compiled", cache.compress(w, weight_config), None
+            layer_mode = "compiled"
+            operand, dense_weight = cache.compress(w, weight_config, digest=w_digest), None
         layer_backend, sweep = backend, None
         if autotune and layer_mode == "compiled":
             sweep = autotune_operand(
@@ -309,6 +336,9 @@ def compile_plan(
             cache=cache if cache_activations else None,
             backend=layer_backend,
             autotune=sweep,
+            # Recorded at compile time so plan persistence never depends on
+            # the operand still being resident in the (LRU-bounded) cache.
+            weight_digest=w_digest,
         )
     return ExecutionPlan(
         layers=plans,

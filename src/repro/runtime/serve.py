@@ -96,8 +96,17 @@ class ServingEngine:
             if self._running:
                 return self
             self.executor.install()
+            # Fresh run, fresh telemetry: a restart must not mix the previous
+            # run's requests or wall-time window into the next report().  The
+            # previous report stays readable between stop() and the restart,
+            # and the reset happens under the state lock so a report() racing
+            # the restart sees either the old window or the new one — never a
+            # half-reset mix.
+            with self._stats_lock:
+                self._request_stats.clear()
+            self._stopped_at = 0.0
+            self._started_at = time.perf_counter()
             self._running = True
-        self._started_at = time.perf_counter()
         for i in range(self.workers):
             t = threading.Thread(target=self._worker_loop, name=f"serve-worker-{i}", daemon=True)
             t.start()
@@ -124,7 +133,8 @@ class ServingEngine:
                 break
             if leftover is not None:
                 self._execute_batch([leftover])
-        self._stopped_at = time.perf_counter()
+        with self._state_lock:
+            self._stopped_at = time.perf_counter()
 
     def __enter__(self) -> "ServingEngine":
         return self.start()
@@ -227,8 +237,10 @@ class ServingEngine:
     # ------------------------------------------------------------------ #
     def report(self) -> ServeReport:
         """Latency/throughput report over everything served so far."""
-        end = self._stopped_at if self._stopped_at > self._started_at else time.perf_counter()
+        with self._state_lock:
+            started, stopped = self._started_at, self._stopped_at
+        end = stopped if stopped > started else time.perf_counter()
         with self._stats_lock:
             requests = list(self._request_stats)
-        wall = max(0.0, end - self._started_at) if self._started_at else 0.0
+        wall = max(0.0, end - started) if started else 0.0
         return ServeReport(requests=requests, wall_time=wall)

@@ -63,3 +63,43 @@ class TestCli:
     def test_compile_with_fixed_backend(self, capsys):
         assert main(["compile", "--backend", "fused-gather", "--sparsity", "0.5"]) == 0
         assert "fused-gather" in capsys.readouterr().out
+
+    def test_unknown_backend_exits_cleanly_listing_names(self):
+        """serve --backend bogus must not die mid-compile with a KeyError."""
+        with pytest.raises(SystemExit) as exc_info:
+            main(["serve", "--backend", "bogus"])
+        message = str(exc_info.value)
+        assert "bogus" in message
+        assert "einsum-gather" in message  # lists the valid names
+
+    def test_compile_save_then_serve_from_plan(self, capsys, tmp_path):
+        plan_path = str(tmp_path / "plan.npz")
+        assert main(["compile", "--save-plan", plan_path]) == 0
+        assert "plan saved" in capsys.readouterr().out
+        assert main(["serve", "--plan", plan_path, "--requests", "4"]) == 0
+        assert "requests" in capsys.readouterr().out
+
+    def test_plan_flag_conflicts_with_compile_options(self, tmp_path):
+        plan = str(tmp_path / "x.npz")
+        with pytest.raises(SystemExit, match="only apply when compiling"):
+            main(["compile", "--plan", plan, "--autotune"])
+        # --config would be silently ignored (the artifact embeds its series
+        # config), so it must be rejected just as explicitly.
+        with pytest.raises(SystemExit, match="only apply when compiling"):
+            main(["serve", "--plan", plan, "--config", "1:4"])
+
+    def test_missing_plan_artifact_exits_cleanly(self, tmp_path):
+        with pytest.raises(SystemExit, match="not found"):
+            main(["serve", "--plan", str(tmp_path / "missing.npz")])
+
+    def test_unwritable_save_plan_exits_cleanly(self, tmp_path):
+        with pytest.raises(SystemExit, match="cannot save plan"):
+            main(["compile", "--save-plan", str(tmp_path / "no" / "dir" / "p.npz")])
+
+    def test_stale_plan_artifact_exits_cleanly(self, capsys, tmp_path):
+        plan_path = str(tmp_path / "plan.npz")
+        assert main(["compile", "--save-plan", plan_path]) == 0
+        capsys.readouterr()
+        # A different sparsity prunes different weights -> digest mismatch.
+        with pytest.raises(SystemExit, match="different weights"):
+            main(["compile", "--plan", plan_path, "--sparsity", "0.5"])

@@ -280,6 +280,45 @@ class TestAutotune:
         if isinstance(state, np.ndarray):  # dense-emulation: prepared matrix
             assert state.dtype == np.float32
 
+    def test_speedup_distinguishes_zero_timings_from_missing(self):
+        """A measured 0.0 s median is a real timing, not "unmeasured"."""
+        # Missing keys: genuinely unmeasured, ratio defaults to 1.0.
+        assert AutotuneResult(backend="fused-gather").speedup_vs_reference == 1.0
+        assert (
+            AutotuneResult(
+                backend="fused-gather", timings={"fused-gather": 1e-6}
+            ).speedup_vs_reference
+            == 1.0
+        )
+        assert (
+            AutotuneResult(
+                backend="fused-gather", timings={"einsum-gather": 1e-6}
+            ).speedup_vs_reference
+            == 1.0
+        )
+        # Zero-time winner against a measurable reference: unboundedly fast,
+        # not silently 1.0x (the timer-resolution case on tiny layers).
+        assert (
+            AutotuneResult(
+                backend="fused-gather",
+                timings={"einsum-gather": 1e-6, "fused-gather": 0.0},
+            ).speedup_vs_reference
+            == float("inf")
+        )
+        # Both medians at zero: indistinguishable, 1.0.
+        assert (
+            AutotuneResult(
+                backend="fused-gather",
+                timings={"einsum-gather": 0.0, "fused-gather": 0.0},
+            ).speedup_vs_reference
+            == 1.0
+        )
+        # Normal case unchanged.
+        assert AutotuneResult(
+            backend="fused-gather",
+            timings={"einsum-gather": 2e-6, "fused-gather": 1e-6},
+        ).speedup_vs_reference == pytest.approx(2.0)
+
     def test_invalid_parameters(self, rng):
         op = make_operand(rng, (16, 32), "2:4")
         with pytest.raises(ValueError):

@@ -89,6 +89,26 @@ class TestEviction:
         cache.compress(mats[2], CFG)
         assert cache.counters.hits == 1
 
+    def test_adopt_registers_respects_capacity_and_reverse_lookup(self, rng):
+        cache = OperandCache(capacity=2)
+        mats = [rng.normal(size=(4, 8)) + i for i in range(3)]
+        operands = [cache.compress(m, CFG) for m in mats]
+        # Adoption is neither hit nor miss, the incumbent wins on collision,
+        # and digest_of resolves resident operands (eviction loses them).
+        hits, misses = cache.counters.hits, cache.counters.misses
+        digest = tensor_digest(mats[2])
+        fresh = OperandCache().compress(mats[2], CFG)
+        assert cache.adopt(digest, CFG, fresh) is operands[2]
+        assert (cache.counters.hits, cache.counters.misses) == (hits, misses)
+        assert cache.digest_of(operands[2]) == digest
+        assert cache.digest_of(operands[0]) is None  # evicted at capacity 2
+        # Adopting a new key evicts LRU past capacity, like compress.
+        evictions = cache.counters.evictions
+        extra = rng.normal(size=(4, 8)) + 9
+        cache.adopt(tensor_digest(extra), CFG, OperandCache().compress(extra, CFG))
+        assert len(cache) == 2
+        assert cache.counters.evictions == evictions + 1
+
     def test_hit_refreshes_recency(self, rng):
         cache = OperandCache(capacity=2)
         a, b, c = (rng.normal(size=(4, 8)) + i for i in range(3))

@@ -73,6 +73,22 @@ class TestLayerPlanGemm:
         plan.uninstall(layer)
         np.testing.assert_array_equal(layer(x), dense)
 
+    @pytest.mark.parametrize("mode", ["compiled", "per_call", "dense"])
+    def test_gemm_rejects_wrong_reduction_width(self, rng, mode):
+        """A (rows, k-1) input must raise, not be zero-padded into garbage."""
+        layer = Linear(32, 16, rng=rng)
+        configs = {} if mode == "dense" else {"linear": CFG}
+        plan_mode = "per_call" if mode == "per_call" else "compiled"
+        plan = compile_plan(layer, TASDTransform(weight_configs=configs), mode=plan_mode)
+        lp = plan.layers["linear"]
+        assert lp.mode == mode
+        with pytest.raises(ValueError, match="'linear'.*rows, 32"):
+            lp.gemm(rng.normal(size=(5, 31)))
+        with pytest.raises(ValueError, match="'linear'"):
+            lp.gemm(rng.normal(size=(5, 33)))
+        assert lp.counters.calls == 0  # rejected inputs are never recorded
+        assert lp.gemm(rng.normal(size=(5, 32))).shape == (5, 16)
+
     def test_plan_counters_track_mac_fraction(self, rng):
         layer = Linear(32, 16, rng=rng).eval()
         plan = compile_plan(layer, TASDTransform(weight_configs={"linear": CFG}))

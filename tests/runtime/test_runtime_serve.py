@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 import pytest
 
@@ -86,6 +88,34 @@ def test_stop_is_idempotent(executor):
     engine = ServingEngine(executor).start()
     engine.stop()
     engine.stop()  # no-op
+
+
+def test_restart_resets_report_window(executor):
+    """stop() → start() must not leak the previous run's telemetry."""
+    rng = np.random.default_rng(18)
+    x = rng.normal(size=(1, 3, 8, 8))
+    engine = ServingEngine(executor, max_batch=2, batch_window=0.01)
+    engine.start()
+    engine.infer(x, timeout=60.0)
+    engine.infer(x, timeout=60.0)
+    engine.stop()
+    first = engine.report()
+    assert first.count == 2
+    time.sleep(0.05)  # idle gap that must not count toward the next window
+    t0 = time.perf_counter()
+    engine.start()
+    engine.infer(x, timeout=60.0)
+    engine.stop()
+    window = time.perf_counter() - t0
+    second = engine.report()
+    # Only the second run's single request, not 3 accumulated across runs.
+    assert second.count == 1
+    first_ids = {r.request_id for r in first.requests}
+    assert all(r.request_id not in first_ids for r in second.requests)
+    # The wall-time window restarted too: it covers the second run only,
+    # not start#1 → stop#2 (which would include the first run + idle gap).
+    assert second.wall_time <= window + 0.01
+    assert second.wall_time > 0.0
 
 
 def test_invalid_parameters(executor):
