@@ -11,7 +11,9 @@ Usage::
     python -m repro.cli compile --config 2:4          # build an execution plan
     python -m repro.cli compile --autotune            # + pick kernels per layer
     python -m repro.cli serve --requests 32 --max-batch 8   # serving demo
-    python -m repro.cli serve --autotune --replicas 4       # replica-parallel
+    python -m repro.cli serve --pool thread --workers 4     # replica-parallel
+    python -m repro.cli serve --pool process --workers 4    # past the GIL
+    python -m repro.cli serve --autotune --tune-observed    # tune on real shapes
 
 Compiled plans persist across restarts: ``compile --autotune --save-plan
 plan.npz`` pays decomposition + tuning once and writes a digest-keyed
@@ -171,24 +173,60 @@ def _compile(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _tune_observed(args: argparse.Namespace, model, plan, requests) -> str:
+    """Profile a served-shaped batch, then re-tune each layer on its shape.
+
+    The serving engine coalesces up to ``max_batch`` requests per
+    micro-batch, so the profiling forward runs a batch of that size — the
+    GEMM widths recorded (and tuned on) are the widths serving will
+    actually see, not the narrower single-request shapes.
+    """
+    import numpy as np
+
+    from repro.runtime import PlanExecutor, retune_plan
+
+    coalesced = np.concatenate(requests[: max(1, min(args.max_batch, len(requests)))])
+    with PlanExecutor(model, plan) as profiler:
+        profiler.run(coalesced)
+        observed = profiler.stats().observed_cols()
+    plan.reset_counters()  # profiling forwards must not pollute the serve stats
+    before = plan.backend_choices()
+    after = retune_plan(plan, observed)
+    changed = sum(1 for name in after if after[name] != before[name])
+    widths = sorted(set(observed.values()))
+    return (
+        f"re-tuned {len(after)} layers on observed GEMM widths {widths} "
+        f"({changed} backend choices changed)"
+    )
+
+
 def _serve(args: argparse.Namespace) -> str:
     import numpy as np
 
-    from repro.runtime import PlanExecutor, ReplicaExecutor, ServingEngine
+    from repro.runtime import PlanExecutor, ServingEngine, make_pool
 
     _check_runtime_flags(args)
+    workers = args.workers if args.workers is not None else args.replicas
+    if workers <= 0:
+        raise SystemExit(f"--workers must be positive, got {workers}")
     model, transform = _runtime_model(args)
     plan = _plan_for(args, model, transform)
-    if args.save_plan is not None:
-        _save_plan_or_exit(plan, args.save_plan)
     rng = np.random.default_rng(0)
     requests = [rng.normal(size=(args.batch, 3, 8, 8)) for _ in range(args.requests)]
-    if args.replicas > 1:
-        executor_cm = ReplicaExecutor(model, plan, replicas=args.replicas)
-        workers = args.replicas
+    tune_note = None
+    if args.tune_observed:
+        # Before --save-plan, so the persisted artifact (and the summary
+        # below) carry the retuned backend choices.
+        tune_note = _tune_observed(args, model, plan, requests)
+    if args.save_plan is not None:
+        _save_plan_or_exit(plan, args.save_plan)
+    lines = [plan.summary()]
+    if tune_note is not None:
+        lines.append(tune_note)
+    if args.pool == "thread" and workers == 1:
+        executor_cm = PlanExecutor(model, plan)  # the degenerate one-worker pool
     else:
-        executor_cm = PlanExecutor(model, plan)
-        workers = 1
+        executor_cm = make_pool(args.pool, model, plan, workers=workers)
     with executor_cm as executor:
         with ServingEngine(
             executor, max_batch=args.max_batch, batch_window=args.window, workers=workers
@@ -198,7 +236,7 @@ def _serve(args: argparse.Namespace) -> str:
                 f.result(timeout=120.0)
         report = engine.report()
         stats = executor.stats()
-    return "\n\n".join([plan.summary(), stats.table(), report.summary()])
+    return "\n\n".join(lines + [stats.table(), report.summary()])
 
 
 def _table(n: int) -> Callable[[argparse.Namespace], str]:
@@ -274,7 +312,28 @@ def main(argv: list[str] | None = None) -> int:
         "--replicas",
         type=int,
         default=1,
-        help="serving model replicas; >1 enables the replica-parallel executor (serve)",
+        help="legacy spelling of --workers for the thread pool (serve)",
+    )
+    parser.add_argument(
+        "--pool",
+        choices=["thread", "process"],
+        default="thread",
+        help="worker-pool substrate: thread replicas (share the GIL) or "
+        "worker processes attached to shared-memory operands (serve)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="pool workers; with --pool thread, 1 means a plain single "
+        "executor (defaults to --replicas) (serve)",
+    )
+    parser.add_argument(
+        "--tune-observed",
+        action="store_true",
+        help="profile a few requests, then re-tune each layer's GEMM "
+        "backend on its observed serving shape instead of the fixed "
+        "representative width (serve)",
     )
     parser.add_argument(
         "--save-plan",

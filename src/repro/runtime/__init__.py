@@ -19,21 +19,29 @@ The structured GEMMs behind every compiled forward dispatch through a
 pluggable kernel-backend registry (:mod:`repro.runtime.backends`);
 ``compile_plan(..., autotune=True)`` micro-benchmarks the candidates per
 layer and records each winner in the plan.  For worker-parallel serving,
-swap the :class:`PlanExecutor` for a :class:`ReplicaExecutor`::
+swap the :class:`PlanExecutor` for a worker pool
+(:mod:`repro.runtime.pool`): thread replicas share one process, process
+workers attach the compiled plan through shared memory and scale past the
+GIL::
 
     plan = compile_plan(model, transform, autotune=True)
-    with ReplicaExecutor(model, plan, replicas=4) as executor:
+    with make_pool("process", model, plan, workers=4) as executor:
         with ServingEngine(executor, workers=4) as engine:
             y = engine.infer(x)                    # forwards run concurrently
+
+(:class:`ReplicaExecutor` remains the established name for the thread
+pool, with its ``replicas=`` spelling.)
 
 Compiled plans persist across restarts (:mod:`repro.runtime.planio`):
 ``plan.save("plan.npz")`` writes a digest-keyed artifact and
 ``load_plan("plan.npz", model)`` rebuilds the plan — compressed operands,
 gather tables, and autotuned backend choices included — without
-re-decomposing or re-tuning, refusing models whose weights have drifted.
+re-decomposing or re-tuning, refusing models whose weights have drifted;
+``share_plan``/``attach_plan`` hand the same artifact contents to worker
+processes as zero-copy shared-memory views.
 """
 
-from .autotune import AutotuneResult, autotune_operand
+from .autotune import AutotuneResult, autotune_operand, retune_plan
 from .backends import (
     DEFAULT_BACKEND,
     GemmBackend,
@@ -42,7 +50,13 @@ from .backends import (
     get_backend,
     register_backend,
 )
-from .cache import CompiledOperand, OperandCache, tensor_digest
+from .cache import (
+    CompiledOperand,
+    OperandCache,
+    SharedArrayRef,
+    SharedOperandStore,
+    tensor_digest,
+)
 from .counters import (
     CacheCounters,
     ExecutorStats,
@@ -55,9 +69,18 @@ from .plan import ExecutionPlan, LayerPlan, compile_plan
 from .planio import (
     PlanDigestError,
     PlanFormatError,
+    attach_plan,
     load_plan,
     model_fingerprint,
     save_plan,
+    share_plan,
+)
+from .pool import (
+    POOL_KINDS,
+    ProcessWorkerPool,
+    ThreadWorkerPool,
+    WorkerPool,
+    make_pool,
 )
 from .replica import ReplicaExecutor
 from .serve import ServingEngine
@@ -73,21 +96,31 @@ __all__ = [
     "LayerCounters",
     "LayerPlan",
     "OperandCache",
+    "POOL_KINDS",
     "PlanDigestError",
     "PlanExecutor",
     "PlanFormatError",
+    "ProcessWorkerPool",
     "ReplicaExecutor",
     "RequestStats",
     "ServeReport",
     "ServingEngine",
+    "SharedArrayRef",
+    "SharedOperandStore",
+    "ThreadWorkerPool",
+    "WorkerPool",
+    "attach_plan",
     "autotune_operand",
     "backend_names",
     "compile_plan",
     "exact_backend_names",
     "get_backend",
     "load_plan",
+    "make_pool",
     "model_fingerprint",
     "register_backend",
+    "retune_plan",
     "save_plan",
+    "share_plan",
     "tensor_digest",
 ]

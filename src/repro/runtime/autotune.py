@@ -22,8 +22,9 @@ from .backends import DEFAULT_BACKEND, backend_names, exact_backend_names, get_b
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .cache import CompiledOperand
+    from .plan import ExecutionPlan
 
-__all__ = ["AutotuneResult", "autotune_operand"]
+__all__ = ["AutotuneResult", "autotune_operand", "retune_plan"]
 
 
 @dataclass(frozen=True)
@@ -113,3 +114,37 @@ def autotune_operand(
         if name != best:
             operand.backend_states.pop(name, None)
     return AutotuneResult(backend=best, timings=timings, sample_cols=sample_cols)
+
+
+def retune_plan(
+    plan: "ExecutionPlan",
+    observed_cols: dict[str, int],
+    default_cols: int = 32,
+    repeats: int = 3,
+    backends: Sequence[str] | None = None,
+    exact_only: bool = False,
+) -> dict[str, str]:
+    """Re-tune a compiled plan on the GEMM shapes a serving run observed.
+
+    ``observed_cols`` is the per-layer dominant column width a profiling
+    run recorded (:meth:`ExecutorStats.observed_cols`); each compiled
+    layer is re-swept on its own observed width (falling back to
+    ``default_cols`` for layers the profile never touched) and the plan's
+    backend choice and autotune record are updated in place.  Returns the
+    resulting ``backend_choices()`` — re-tuning an already-installed plan
+    takes effect on the next forward, since ``LayerPlan.gemm`` reads the
+    backend per call.
+    """
+    for name, layer_plan in plan.layers.items():
+        if layer_plan.mode != "compiled":
+            continue
+        sweep = autotune_operand(
+            layer_plan.operand,
+            sample_cols=observed_cols.get(name, default_cols),
+            repeats=repeats,
+            backends=backends,
+            exact_only=exact_only,
+        )
+        layer_plan.backend = sweep.backend
+        layer_plan.autotune = sweep
+    return plan.backend_choices()

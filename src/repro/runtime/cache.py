@@ -8,6 +8,14 @@ requests, calibration replays, deduplicated micro-batches).
 
 Entries are LRU-evicted under a capacity bound and hits return the *same*
 object that was stored, so compiled plans can share operands by identity.
+
+For *cross-process* sharing, :class:`SharedOperandStore` packs the arrays
+behind a set of compiled operands (``CompressedNM`` term ``values`` /
+``indices``, gather tables, dense weights) into one
+``multiprocessing.shared_memory`` segment: worker processes attach by
+segment name and rebuild zero-copy views, so N workers hold one copy of
+the compiled plan's operand storage — the process-pool analogue of S2TA
+keeping compressed operands resident across PEs.
 """
 
 from __future__ import annotations
@@ -16,6 +24,7 @@ import hashlib
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
+from multiprocessing import resource_tracker, shared_memory
 
 import numpy as np
 
@@ -30,7 +39,13 @@ from repro.tensor.blocks import pad_to_multiple
 from .backends import DEFAULT_BACKEND, GemmBackend, get_backend
 from .counters import CacheCounters
 
-__all__ = ["tensor_digest", "CompiledOperand", "OperandCache"]
+__all__ = [
+    "tensor_digest",
+    "CompiledOperand",
+    "OperandCache",
+    "SharedArrayRef",
+    "SharedOperandStore",
+]
 
 
 def tensor_digest(a: np.ndarray) -> str:
@@ -245,3 +260,149 @@ class OperandCache:
 
         key = ("view", tensor_digest(x), str(config), int(axis) % np.asarray(x).ndim)
         return self._get_or_build(key, lambda: decompose_activation(x, config, axis))
+
+
+# ---------------------------------------------------------------------- #
+# Cross-process operand sharing
+# ---------------------------------------------------------------------- #
+_SHM_ALIGN = 64  # cache-line alignment for every array placed in a segment
+
+
+@dataclass(frozen=True)
+class SharedArrayRef:
+    """Where one array lives inside a shared segment — picklable, tiny."""
+
+    offset: int
+    dtype: str  # numpy dtype string, e.g. "<f8"
+    shape: tuple[int, ...]
+
+    @property
+    def nbytes(self) -> int:
+        n = np.dtype(self.dtype).itemsize
+        for dim in self.shape:
+            n *= dim
+        return n
+
+
+def _attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without adopting its lifetime.
+
+    ``SharedMemory(name=...)`` registers the segment with the attaching
+    process's resource tracker, which *unlinks it* when that process exits
+    — destroying the creator's segment under every other worker.  Python
+    3.13 grew ``track=False`` for exactly this; on 3.11 the supported
+    escape hatch is to unregister after attach, leaving cleanup to the
+    creating process (which owns the only ``unlink``).
+    """
+    shm = shared_memory.SharedMemory(name=name)
+    try:
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:  # pragma: no cover - tracker variants across platforms
+        pass
+    return shm
+
+
+class SharedOperandStore:
+    """A bundle of numpy arrays in one shared-memory segment.
+
+    The parent serializes the arrays once (:meth:`create` returns the
+    store plus a picklable ``{key: SharedArrayRef}`` map); each worker
+    process attaches by segment ``name`` and resolves refs to zero-copy
+    read-only views (:meth:`get`).  Views borrow the segment's buffer, so
+    the store must stay open for as long as any view is live — workers
+    hold it for their lifetime, and only the creating process calls
+    :meth:`unlink`.
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory, owner: bool) -> None:
+        self._shm = shm
+        self._owner = owner
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def create(
+        cls, arrays: dict[str, np.ndarray]
+    ) -> tuple["SharedOperandStore", dict[str, SharedArrayRef]]:
+        """Pack ``arrays`` into a fresh segment; returns (store, refs).
+
+        Raises ``OSError`` where POSIX shared memory is unavailable —
+        callers that can degrade (``share_plan``) fall back to carrying
+        the arrays inline.
+        """
+        refs: dict[str, SharedArrayRef] = {}
+        offset = 0
+        for key, a in arrays.items():
+            a = np.asarray(a)
+            refs[key] = SharedArrayRef(offset=offset, dtype=a.dtype.str, shape=tuple(a.shape))
+            offset += -(-a.nbytes // _SHM_ALIGN) * _SHM_ALIGN
+        shm = shared_memory.SharedMemory(create=True, size=max(1, offset))
+        store = cls(shm, owner=True)
+        for key, a in arrays.items():
+            ref = refs[key]
+            view = np.ndarray(
+                ref.shape, dtype=np.dtype(ref.dtype), buffer=shm.buf, offset=ref.offset
+            )
+            # ndarray assignment handles non-contiguous sources, so the one
+            # copy into the segment is the only copy made.
+            view[...] = a
+        return store, refs
+
+    @classmethod
+    def attach(cls, name: str) -> "SharedOperandStore":
+        """Open an existing segment by name (worker side, never unlinks)."""
+        return cls(_attach_segment(name), owner=False)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    def get(self, ref: SharedArrayRef) -> np.ndarray:
+        """Zero-copy read-only view of one array inside the segment."""
+        if self._closed:
+            raise ValueError("shared operand store is closed")
+        view = np.ndarray(
+            ref.shape, dtype=np.dtype(ref.dtype), buffer=self._shm.buf, offset=ref.offset
+        )
+        # Operands are immutable by contract; a writable cross-process view
+        # would let one worker silently corrupt every other worker's GEMMs.
+        view.flags.writeable = False
+        return view
+
+    def close(self) -> None:
+        """Detach this process's mapping (views die with it)."""
+        if not self._closed:
+            self._closed = True
+            self._shm.close()
+
+    def unlink(self) -> None:
+        """Destroy the segment (creator only; idempotent)."""
+        self.close()
+        if self._owner:
+            self._owner = False
+            # ``SharedMemory.unlink`` unregisters from the resource tracker;
+            # under ``fork`` the children *shared* the parent's tracker, so
+            # their attach-time unregistration already removed the entry and
+            # the tracker would log a KeyError.  Re-registering first keeps
+            # the tracker's books balanced on every start method.
+            try:
+                resource_tracker.register(self._shm._name, "shared_memory")
+            except Exception:  # pragma: no cover - tracker variants
+                pass
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+    def __enter__(self) -> "SharedOperandStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.unlink() if self._owner else self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.unlink() if self._owner else self.close()
+        except Exception:
+            pass

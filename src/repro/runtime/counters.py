@@ -55,29 +55,67 @@ class LayerCounters:
     structured_macs: int = 0  # MACs actually executed (compressed slots)
     dense_macs: int = 0  # MACs a dense GEMM of the same shape would run
     wall_time: float = 0.0  # seconds spent inside the layer's GEMM
+    # Observed GEMM column widths (batch rows of the 2-D input block, i.e.
+    # the im2col width x batch the layer actually served), width -> count.
+    # This is the shape the autotuner's ``sample_cols`` stands in for, so a
+    # recorded serving run can re-tune on real shapes instead of a guess.
+    col_widths: dict[int, int] = field(default_factory=dict)
 
     @property
     def mac_fraction(self) -> float:
         """Executed MACs relative to dense (Section 3.2's cost model)."""
         return self.structured_macs / self.dense_macs if self.dense_macs else 1.0
 
-    def record(self, structured: int, dense: int, seconds: float) -> None:
+    def record(self, structured: int, dense: int, seconds: float, cols: int | None = None) -> None:
         self.calls += 1
         self.structured_macs += structured
         self.dense_macs += dense
         self.wall_time += seconds
+        if cols is not None:
+            self.col_widths[cols] = self.col_widths.get(cols, 0) + 1
+
+    def observed_cols(self) -> int | None:
+        """The most frequently served GEMM column width (ties -> widest).
+
+        ``None`` when the layer has recorded no widths yet.  Ties resolve
+        toward the *wider* shape: tuning for the larger GEMM is the safer
+        bet (the winner at a wide shape rarely loses badly at a narrow one,
+        while the reverse is common).
+        """
+        if not self.col_widths:
+            return None
+        return max(self.col_widths, key=lambda w: (self.col_widths[w], w))
 
     def merged_with(self, other: "LayerCounters") -> "LayerCounters":
+        widths = dict(self.col_widths)
+        for w, n in other.col_widths.items():
+            widths[w] = widths.get(w, 0) + n
         return LayerCounters(
             calls=self.calls + other.calls,
             structured_macs=self.structured_macs + other.structured_macs,
             dense_macs=self.dense_macs + other.dense_macs,
             wall_time=self.wall_time + other.wall_time,
+            col_widths=widths,
+        )
+
+    def snapshot(self) -> "LayerCounters":
+        """An independent copy — safe to hand out while recording continues.
+
+        ``dataclasses.replace`` would alias the mutable ``col_widths`` dict
+        into the copy; this copies it, so snapshots never see later updates.
+        """
+        return LayerCounters(
+            calls=self.calls,
+            structured_macs=self.structured_macs,
+            dense_macs=self.dense_macs,
+            wall_time=self.wall_time,
+            col_widths=dict(self.col_widths),
         )
 
     def reset(self) -> None:
         self.calls = self.structured_macs = self.dense_macs = 0
         self.wall_time = 0.0
+        self.col_widths.clear()
 
 
 @dataclass
@@ -101,6 +139,23 @@ class ExecutorStats:
     def throughput(self) -> float:
         """Samples per second over the executor's measured forwards."""
         return self.samples / self.wall_time if self.wall_time else 0.0
+
+    def observed_cols(self) -> dict[str, int]:
+        """Per-layer dominant GEMM column width observed by this run.
+
+        The shape profile a serving run actually exercised — feed it to
+        ``compile_plan(autotune=True, observed_cols=...)`` or
+        :func:`repro.runtime.autotune.retune_plan` to tune each layer on
+        its real serving shape instead of a representative guess.  Layers
+        that recorded no widths (never called, dense-only runs) are
+        omitted.
+        """
+        out: dict[str, int] = {}
+        for name, counters in self.layers.items():
+            width = counters.observed_cols()
+            if width is not None:
+                out[name] = width
+        return out
 
     def table(self) -> str:
         """Per-layer counter table plus totals, for CLI / example output."""

@@ -6,9 +6,16 @@ on the model's GEMM layers (their eval-mode forward then consumes the
 forwards and accumulates per-layer perf counters, and closing it restores
 the uncompiled model.  One lock serialises execution, so the serving
 engine's worker threads can share an executor safely — at the cost of
-serialising their forwards.  When worker throughput should scale instead,
-use :class:`repro.runtime.replica.ReplicaExecutor`, which runs each worker
-against its own model replica sharing this same compiled plan.
+serialising their forwards.
+
+This is the degenerate, single-worker case of the
+:class:`repro.runtime.pool.WorkerPool` seam (it honours the same
+``install`` / ``run`` / ``stats`` contract and registers as a virtual
+subclass).  When worker throughput should scale instead, use a real pool:
+:class:`~repro.runtime.pool.ThreadWorkerPool` runs each worker against
+its own model replica sharing this same compiled plan, and
+:class:`~repro.runtime.pool.ProcessWorkerPool` runs worker processes over
+shared-memory operands, past the GIL.
 """
 
 from __future__ import annotations
@@ -102,7 +109,7 @@ class PlanExecutor:
                 samples=self._samples,
                 wall_time=self._wall_time,
                 layers={
-                    name: dataclasses.replace(plan.counters)
+                    name: plan.counters.snapshot()
                     for name, plan in self.plan.layers.items()
                 },
                 cache=dataclasses.replace(self.plan.cache.counters),

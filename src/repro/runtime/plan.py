@@ -142,7 +142,10 @@ class LayerPlan:
             y = x2 @ self.dense_weight.T
             structured = batch_rows * self.reduction * self.out_features
         dense = batch_rows * self.reduction * self.out_features
-        self.counters.record(structured, dense, time.perf_counter() - t0)
+        # batch_rows is the GEMM's column count once the operand side is
+        # transposed — the very shape autotune's ``sample_cols`` models —
+        # so recording it lets a serve run re-tune on observed shapes.
+        self.counters.record(structured, dense, time.perf_counter() - t0, cols=batch_rows)
         return y
 
     __call__ = gemm
@@ -273,6 +276,7 @@ def compile_plan(
     autotune_repeats: int = 3,
     autotune_backends: tuple[str, ...] | None = None,
     autotune_exact_only: bool = False,
+    observed_cols: dict[str, int] | None = None,
 ) -> ExecutionPlan:
     """Compile a model + transform into an :class:`ExecutionPlan`.
 
@@ -287,7 +291,11 @@ def compile_plan(
     ``autotune=True`` instead micro-benchmarks the candidate backends per
     layer (see :func:`repro.runtime.autotune.autotune_operand`) and records
     each winner — ``autotune_exact_only`` restricts the sweep to backends
-    bit-identical to the reference kernel.
+    bit-identical to the reference kernel.  ``observed_cols`` maps layer
+    names to the GEMM column widths a previous serving run actually saw
+    (:meth:`repro.runtime.counters.ExecutorStats.observed_cols`); when
+    autotuning, a layer present in the map is timed on its observed width
+    instead of the representative ``autotune_cols``.
 
     ``cache_activations`` routes dynamic TASD-A views through the operand
     cache too.  Off by default: it only pays when identical activations
@@ -318,7 +326,9 @@ def compile_plan(
         if autotune and layer_mode == "compiled":
             sweep = autotune_operand(
                 operand,
-                sample_cols=autotune_cols,
+                sample_cols=observed_cols.get(name, autotune_cols)
+                if observed_cols
+                else autotune_cols,
                 repeats=autotune_repeats,
                 backends=autotune_backends,
                 exact_only=autotune_exact_only,

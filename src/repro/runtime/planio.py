@@ -55,7 +55,12 @@ from repro.core.series import TASDConfig
 from repro.core.sparse_ops import CompressedNM, nm_gather_tables
 
 from .autotune import AutotuneResult
-from .cache import CompiledOperand, OperandCache, tensor_digest
+from .cache import (
+    CompiledOperand,
+    OperandCache,
+    SharedOperandStore,
+    tensor_digest,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.nn.module import Module
@@ -70,6 +75,8 @@ __all__ = [
     "model_fingerprint",
     "save_plan",
     "load_plan",
+    "share_plan",
+    "attach_plan",
 ]
 
 PLAN_FORMAT = "repro-execution-plan"
@@ -156,28 +163,15 @@ def _autotune_entry(sweep: AutotuneResult | None) -> dict | None:
     }
 
 
-def save_plan(plan: "ExecutionPlan", path: str | Path) -> Path:
-    """Serialize ``plan`` to a single ``.npz`` + JSON-manifest artifact.
+def _collect_entries(plan: "ExecutionPlan", put) -> tuple[list[dict], dict[str, str]]:
+    """Build the per-layer manifest entries, registering arrays via ``put``.
 
-    The artifact stores, per layer, the :class:`CompressedNM` term arrays
-    (``values``/``indices``), the dense weight (dense / per-call layers),
-    the padded/original shapes, the series configuration strings, the
-    chosen backend, and the autotune sweep that chose it — everything
-    :func:`load_plan` needs to rebuild the plan without re-decomposing
-    (the gather tables are pure index arithmetic over the stored terms and
-    are rederived at load).  Returns the written path.
+    ``put(key, array) -> key`` is the storage hook: the disk path records
+    digests for later verification, the shared-memory path copies into a
+    segment.  Returns (layer entries, per-layer weight digests).
     """
-    path = Path(path)
-    arrays: dict[str, np.ndarray] = {}
     layer_entries: list[dict] = []
-    array_digests: dict[str, str] = {}
     layer_digests: dict[str, str] = {}
-
-    def put(key: str, a: np.ndarray) -> str:
-        arrays[key] = a
-        array_digests[key] = tensor_digest(a)
-        return key
-
     for i, (name, lp) in enumerate(plan.layers.items()):
         weight_digest = _layer_weight_digest(plan, lp)
         layer_digests[name] = weight_digest
@@ -208,6 +202,30 @@ def save_plan(plan: "ExecutionPlan", path: str | Path) -> Path:
         if lp.dense_weight is not None:
             entry["dense_weight"] = put(f"L{i}.dense", lp.dense_weight)
         layer_entries.append(entry)
+    return layer_entries, layer_digests
+
+
+def save_plan(plan: "ExecutionPlan", path: str | Path) -> Path:
+    """Serialize ``plan`` to a single ``.npz`` + JSON-manifest artifact.
+
+    The artifact stores, per layer, the :class:`CompressedNM` term arrays
+    (``values``/``indices``), the dense weight (dense / per-call layers),
+    the padded/original shapes, the series configuration strings, the
+    chosen backend, and the autotune sweep that chose it — everything
+    :func:`load_plan` needs to rebuild the plan without re-decomposing
+    (the gather tables are pure index arithmetic over the stored terms and
+    are rederived at load).  Returns the written path.
+    """
+    path = Path(path)
+    arrays: dict[str, np.ndarray] = {}
+    array_digests: dict[str, str] = {}
+
+    def put(key: str, a: np.ndarray) -> str:
+        arrays[key] = a
+        array_digests[key] = tensor_digest(a)
+        return key
+
+    layer_entries, layer_digests = _collect_entries(plan, put)
 
     manifest = {
         "format": PLAN_FORMAT,
@@ -393,38 +411,95 @@ def load_plan(
     return plan
 
 
+def _entry_configs(entry: dict) -> tuple[TASDConfig, TASDConfig]:
+    """Parsed (weight, activation) configs with mode/backend validation.
+
+    Raised problems surface as :class:`PlanFormatError` before
+    ``LayerPlan.__post_init__`` turns them into raw KeyErrors.
+    """
+    from .backends import backend_names
+    from .plan import MODES
+
+    name = entry["name"]
+    if entry["mode"] not in MODES:
+        raise PlanFormatError(
+            f"plan layer {name!r} has unknown mode {entry['mode']!r}; "
+            f"options: {MODES}"
+        )
+    if entry["mode"] == "compiled" and entry["backend"] not in backend_names():
+        raise PlanFormatError(
+            f"plan layer {name!r} uses GEMM backend {entry['backend']!r}, "
+            f"which is not registered in this process (registered: "
+            f"{backend_names()}); register it before loading, or "
+            f"recompile the plan"
+        )
+    return (
+        TASDConfig.parse(entry["weight_config"]),
+        TASDConfig.parse(entry["activation_config"]),
+    )
+
+
+def _entry_layer_plan(
+    entry: dict,
+    weight_config: TASDConfig,
+    activation_config: TASDConfig,
+    operand: CompiledOperand | None,
+    dense_weight: np.ndarray | None,
+    cache: OperandCache,
+):
+    from .plan import LayerPlan
+
+    sweep = entry["autotune"]
+    return LayerPlan(
+        name=entry["name"],
+        kind=entry["kind"],
+        mode=entry["mode"],
+        weight_config=weight_config,
+        activation_config=activation_config,
+        activation_axis=entry["activation_axis"],
+        operand=operand,
+        dense_weight=dense_weight,
+        cache=cache if entry["cache_activations"] else None,
+        backend=entry["backend"],
+        autotune=None
+        if sweep is None
+        else AutotuneResult(
+            backend=sweep["backend"],
+            timings=dict(sweep["timings"]),
+            sample_cols=sweep["sample_cols"],
+        ),
+        weight_digest=entry["weight_digest"],
+    )
+
+
+def _assemble_plan(layers, weight_configs, activation_configs, cache, mode):
+    from repro.tasder.transform import TASDTransform
+
+    from .plan import ExecutionPlan
+
+    return ExecutionPlan(
+        layers=layers,
+        transform=TASDTransform(
+            weight_configs=weight_configs, activation_configs=activation_configs
+        ),
+        cache=cache,
+        mode=mode,
+        build_time=0.0,
+    )
+
+
 def _rebuild_plan(data, manifest: dict, model: "Module", cache: OperandCache):
     """Rebuild the ExecutionPlan a verified manifest describes.
 
     ``build_time`` is stamped by the caller (it covers the whole load).
     """
-    from repro.tasder.transform import TASDTransform
-
-    from .backends import backend_names
-    from .plan import MODES, ExecutionPlan, LayerPlan
-
     _verify_model(manifest, model)
-    layers: dict[str, LayerPlan] = {}
+    layers: dict = {}
     weight_configs: dict[str, TASDConfig] = {}
     activation_configs: dict[str, TASDConfig] = {}
     for entry in manifest["layers"]:
         name = entry["name"]
-        # Surface artifact/process mismatches as PlanFormatError before
-        # LayerPlan.__post_init__ turns them into raw KeyErrors.
-        if entry["mode"] not in MODES:
-            raise PlanFormatError(
-                f"plan layer {name!r} has unknown mode {entry['mode']!r}; "
-                f"options: {MODES}"
-            )
-        if entry["mode"] == "compiled" and entry["backend"] not in backend_names():
-            raise PlanFormatError(
-                f"plan layer {name!r} uses GEMM backend {entry['backend']!r}, "
-                f"which is not registered in this process (registered: "
-                f"{backend_names()}); register it before loading, or "
-                f"recompile the plan"
-            )
-        weight_config = TASDConfig.parse(entry["weight_config"])
-        activation_config = TASDConfig.parse(entry["activation_config"])
+        weight_config, activation_config = _entry_configs(entry)
         if not weight_config.is_dense:
             weight_configs[name] = weight_config
         if not activation_config.is_dense:
@@ -438,34 +513,141 @@ def _rebuild_plan(data, manifest: dict, model: "Module", cache: OperandCache):
             operand = cache.adopt(entry["weight_digest"], weight_config, operand)
         if "dense_weight" in entry:
             dense_weight = _array(data, manifest, entry["dense_weight"])
-        sweep = entry["autotune"]
-        layers[name] = LayerPlan(
-            name=name,
-            kind=entry["kind"],
-            mode=entry["mode"],
-            weight_config=weight_config,
-            activation_config=activation_config,
-            activation_axis=entry["activation_axis"],
-            operand=operand,
-            dense_weight=dense_weight,
-            cache=cache if entry["cache_activations"] else None,
-            backend=entry["backend"],
-            autotune=None
-            if sweep is None
-            else AutotuneResult(
-                backend=sweep["backend"],
-                timings=dict(sweep["timings"]),
-                sample_cols=sweep["sample_cols"],
-            ),
-            weight_digest=entry["weight_digest"],
+        layers[name] = _entry_layer_plan(
+            entry, weight_config, activation_config, operand, dense_weight, cache
         )
-    transform = TASDTransform(
-        weight_configs=weight_configs, activation_configs=activation_configs
+    return _assemble_plan(layers, weight_configs, activation_configs, cache, manifest["mode"])
+
+
+# ---------------------------------------------------------------------- #
+# Cross-process sharing (the worker-pool attach path)
+# ---------------------------------------------------------------------- #
+def share_plan(plan: "ExecutionPlan") -> tuple[SharedOperandStore | None, dict]:
+    """Export ``plan`` for zero-copy attachment by worker processes.
+
+    Packs every array behind the plan — :class:`CompressedNM` term
+    ``values``/``indices``, the flattened gather-row tables, and dense
+    weights — into one shared-memory segment, and returns ``(store,
+    spec)``: the store owns the segment (call :meth:`unlink` once the
+    workers are gone), the spec is a small picklable dict carrying the
+    segment name, per-array refs, and the same per-layer metadata the
+    persisted-plan manifest records.  :func:`attach_plan` turns the spec
+    back into a working plan in any process.
+
+    Where POSIX shared memory is unavailable the spec degrades to carrying
+    the arrays inline (``store`` is ``None``): every worker then holds a
+    private copy — slower to ship, but functionally identical.
+    """
+    arrays: dict[str, np.ndarray] = {}
+
+    def put(key: str, a: np.ndarray) -> str:
+        arrays[key] = a
+        return key
+
+    layer_entries, _ = _collect_entries(plan, put)
+    # Gather-row tables ride in the segment too: they are index arithmetic
+    # over the terms, but rederiving them would cost every worker a private
+    # allocation as large as the indices themselves.  (The flat *value*
+    # tables need no storage at all — they are reshapes of the term values,
+    # so the attached views share the same segment bytes.)
+    for i, (name, lp) in enumerate(plan.layers.items()):
+        if lp.operand is not None:
+            layer_entries[i]["flat_rows"] = [
+                put(f"L{i}.t{t}.flat_rows", rows)
+                for t, rows in enumerate(lp.operand.flat_rows)
+            ]
+    spec = {
+        "mode": plan.mode,
+        "layers": layer_entries,
+        "segment": None,
+        "refs": None,
+        "inline": None,
+    }
+    try:
+        store, refs = SharedOperandStore.create(arrays)
+    except OSError:
+        spec["inline"] = {key: np.ascontiguousarray(a) for key, a in arrays.items()}
+        return None, spec
+    spec["segment"] = store.name
+    spec["refs"] = refs
+    return store, spec
+
+
+def _attached_operand(entry: dict, config: TASDConfig, get) -> CompiledOperand:
+    padded_shape = tuple(entry["padded_shape"])
+    rows = padded_shape[0]
+    terms = []
+    flat_values = []
+    flat_rows = []
+    for term_entry, rows_key in zip(entry["terms"], entry["flat_rows"]):
+        term = CompressedNM(
+            pattern=NMPattern.parse(term_entry["pattern"]),
+            values=get(term_entry["values"]),
+            indices=get(term_entry["indices"]),
+            shape=padded_shape,
+        )
+        terms.append(term)
+        flat_values.append(term.values.reshape(rows, -1))
+        flat_rows.append(get(rows_key))
+    return CompiledOperand(
+        config=config,
+        original_shape=tuple(entry["original_shape"]),
+        padded_shape=padded_shape,
+        terms=tuple(terms),
+        flat_values=tuple(flat_values),
+        flat_rows=tuple(flat_rows),
     )
-    return ExecutionPlan(
-        layers=layers,
-        transform=transform,
-        cache=cache,
-        mode=manifest["mode"],
-        build_time=0.0,
-    )
+
+
+def attach_plan(
+    spec: dict, cache: OperandCache | None = None
+) -> tuple["ExecutionPlan", SharedOperandStore | None]:
+    """Rebuild a working plan from a :func:`share_plan` spec (worker side).
+
+    Returns ``(plan, store)``.  With a shared segment, every array in the
+    plan is a zero-copy read-only view into it — the worker must keep
+    ``store`` open for the plan's lifetime and ``close()`` (never
+    ``unlink()``) it on exit; the creating process owns the segment.  No
+    digest verification happens here: the spec is an in-memory handoff
+    from the process that built the plan, not an untrusted artifact —
+    integrity-checked persistence is :func:`load_plan`'s job.
+
+    Operands are adopted into ``cache`` under their source-weight digests,
+    so a worker-side ``compile_plan`` against the same cache would hit.
+    """
+    cache = cache if cache is not None else OperandCache()
+    store = None
+    if spec["segment"] is not None:
+        store = SharedOperandStore.attach(spec["segment"])
+        refs = spec["refs"]
+
+        def get(key: str) -> np.ndarray:
+            return store.get(refs[key])
+
+    else:
+        inline = spec["inline"]
+
+        def get(key: str) -> np.ndarray:
+            return inline[key]
+
+    layers: dict = {}
+    weight_configs: dict[str, TASDConfig] = {}
+    activation_configs: dict[str, TASDConfig] = {}
+    for entry in spec["layers"]:
+        name = entry["name"]
+        weight_config, activation_config = _entry_configs(entry)
+        if not weight_config.is_dense:
+            weight_configs[name] = weight_config
+        if not activation_config.is_dense:
+            activation_configs[name] = activation_config
+        operand = dense_weight = None
+        if "terms" in entry:
+            operand = _attached_operand(entry, weight_config, get)
+            operand = cache.adopt(entry["weight_digest"], weight_config, operand)
+        if "dense_weight" in entry:
+            dense_weight = get(entry["dense_weight"])
+        layers[name] = _entry_layer_plan(
+            entry, weight_config, activation_config, operand, dense_weight, cache
+        )
+    plan = _assemble_plan(layers, weight_configs, activation_configs, cache, spec["mode"])
+    return plan, store

@@ -1,0 +1,650 @@
+"""Worker pools: the pluggable execution substrate behind the serving engine.
+
+The serving engine used to be hardwired to *thread* replicas
+(:class:`~repro.runtime.replica.ReplicaExecutor`): each worker thread ran
+forwards on its own model replica, but every non-BLAS part of a forward
+still serialised on the GIL.  This module extracts the seam —
+:class:`WorkerPool`, the install/run/stats contract the engine actually
+drives — and provides two substrates behind it:
+
+- :class:`ThreadWorkerPool` — one model replica per worker thread.
+  Weights and the compiled plan are shared by reference; only the GIL
+  bounds scaling.  This is exactly the old ``ReplicaExecutor`` behaviour.
+- :class:`ProcessWorkerPool` — one worker *process* per worker.  The
+  parent exports the compiled plan once through
+  :func:`~repro.runtime.planio.share_plan` (operand arrays in a
+  shared-memory segment); each child attaches zero-copy, installs the
+  plan on its own unpickled model, and serves forwards with no GIL in
+  common.  This is the scaling unlock past thread replicas: decomposition
+  and compression cost is paid once (SparseRT's AOT specialisation), the
+  compressed operands are held once (S2TA keeps them resident across
+  PEs), and N cores run N forwards.
+
+:class:`~repro.runtime.executor.PlanExecutor` satisfies the same contract
+(a single lock-serialised worker) and is registered as a virtual subclass,
+so everything the engine accepts is a :class:`WorkerPool` — pick with
+:func:`make_pool` (CLI: ``serve --pool {thread,process} --workers N``).
+
+Both pools merge per-worker layer counters into one :meth:`stats` view and
+produce **bit-identical** outputs: thread replicas alias the same arrays,
+and process workers run the same kernels over byte-equal shared operands.
+"""
+
+from __future__ import annotations
+
+import abc
+import copy
+import dataclasses
+import itertools
+import multiprocessing
+import pickle
+import queue
+import threading
+import time
+
+import numpy as np
+
+from repro.nn.module import Module
+
+from .counters import ExecutorStats, LayerCounters
+from .executor import PlanExecutor
+from .plan import ExecutionPlan, LayerPlan
+
+__all__ = [
+    "POOL_KINDS",
+    "WorkerPool",
+    "ThreadWorkerPool",
+    "ProcessWorkerPool",
+    "make_pool",
+]
+
+
+class WorkerPool(abc.ABC):
+    """The execution seam between the serving engine and the substrate.
+
+    The contract the engine drives (and every pool honours):
+
+    - :meth:`install` / :meth:`close` — bring workers up / tear them down;
+      both idempotent, ``close`` waits for in-flight forwards and keeps
+      accumulated counters readable;
+    - :meth:`run` — one forward on whichever worker frees first, safe to
+      call from many threads concurrently (lazily installs, including
+      after a ``close``);
+    - :meth:`stats` / :meth:`reset_stats` — per-layer counters merged
+      across workers, plus whole-forward batch/sample/wall totals.
+
+    Implementations must keep :meth:`run` lock-free across the forward
+    itself so up to ``workers`` forwards proceed concurrently.
+    """
+
+    model: Module
+    plan: ExecutionPlan
+    workers: int
+
+    @abc.abstractmethod
+    def install(self) -> "WorkerPool":
+        """Bring the worker pool up (idempotent)."""
+
+    @abc.abstractmethod
+    def close(self) -> None:
+        """Tear the pool down, waiting for in-flight forwards (idempotent)."""
+
+    @abc.abstractmethod
+    def run(self, x: np.ndarray) -> np.ndarray:
+        """One timed forward on whichever worker is free first."""
+
+    def run_many(self, batches) -> list[np.ndarray]:
+        """Run a sequence of batches, returning their outputs in order."""
+        return [self.run(x) for x in batches]
+
+    @abc.abstractmethod
+    def stats(self) -> ExecutorStats:
+        """Counters merged across all workers plus whole-forward timing."""
+
+    @abc.abstractmethod
+    def reset_stats(self) -> None:
+        """Zero every counter this pool reports."""
+
+    def __enter__(self) -> "WorkerPool":
+        return self.install()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# A PlanExecutor is the degenerate one-worker pool (its internal lock
+# serialises forwards); registering it keeps `isinstance(x, WorkerPool)`
+# true for everything the serving engine accepts.
+WorkerPool.register(PlanExecutor)
+
+
+# ---------------------------------------------------------------------- #
+# Thread pool: one model replica per worker thread
+# ---------------------------------------------------------------------- #
+class ThreadWorkerPool(WorkerPool):
+    """Execute batches against one compiled plan across N model replicas.
+
+    The single-model :class:`PlanExecutor` must hold a lock across every
+    forward — layers cache forward state on ``self``, so one model
+    instance cannot run concurrent batches — which serialises all of the
+    serving engine's workers.  This pool removes the lock by giving each
+    worker its own *replica* of the model while sharing everything
+    immutable:
+
+    - parameter storage is aliased back to the source model (replicas add
+      per-layer Python objects and forward caches, not weight copies);
+    - the compiled :class:`ExecutionPlan` is shared — every replica serves
+      from the same :class:`CompiledOperand` terms, gather tables,
+      prepared backend state, and operand cache;
+    - only the per-layer perf counters are private per replica (cloned via
+      :meth:`ExecutionPlan.clone_layer_plans`), so the hot path never
+      races; :meth:`stats` merges them back into one view.
+
+    Replicas are checked out of a pool for the duration of one forward, so
+    up to ``workers`` batches execute concurrently with no shared mutable
+    state between them.  Throughput then scales with workers as far as the
+    machine's cores *and the GIL* allow — NumPy releases it inside BLAS,
+    but every Python-level part of a forward still serialises.  For
+    scaling past that, use :class:`ProcessWorkerPool`.
+
+    The source ``model`` itself is never touched: replicas are built from
+    it (weights aliased, not copied) and the plan is installed on the
+    replicas only, so the caller's model keeps its uncompiled forward.
+    """
+
+    def __init__(self, model: Module, plan: ExecutionPlan, workers: int = 2) -> None:
+        if workers <= 0:
+            raise ValueError(f"workers must be positive, got {workers}")
+        self.model = model
+        self.plan = plan
+        self.workers = workers
+        self._pool: "queue.Queue[Module]" = queue.Queue()
+        self._replica_plans: list[dict[str, LayerPlan]] = []
+        self._installed = False
+        self._state_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
+        self._batches = 0
+        self._samples = 0
+        self._wall_time = 0.0
+
+    # ------------------------------------------------------------------ #
+    def _build_replica(self) -> tuple[Module, dict[str, LayerPlan]]:
+        # Weights (and eval-time buffers like running BatchNorm statistics)
+        # are immutable at inference: seeding the deepcopy memo with their
+        # arrays makes every replica alias the source model's tensors, so a
+        # replica costs layer objects and forward caches — never weights.
+        memo: dict[int, object] = {}
+        for p in self.model.parameters():
+            memo[id(p.data)] = p.data
+            # Replicas are inference-only, so sharing gradient storage is
+            # safe and avoids duplicating weight-sized buffers per replica.
+            memo[id(p.grad)] = p.grad
+        for _, buf in self.model.named_buffers():
+            memo[id(buf)] = buf
+        replica = copy.deepcopy(self.model, memo)
+        layer_plans = self.plan.clone_layer_plans()
+        self.plan.install(replica, layer_plans)
+        replica.eval()
+        return replica, layer_plans
+
+    def install(self) -> "ThreadWorkerPool":
+        with self._state_lock:
+            if not self._installed:
+                for _ in range(self.workers):
+                    replica, layer_plans = self._build_replica()
+                    self._pool.put(replica)
+                    self._replica_plans.append(layer_plans)
+                self._installed = True
+        return self
+
+    def close(self) -> None:
+        """Discard the replica pool (the source model was never modified).
+
+        Waits for in-flight forwards, then drops the replicas.  Their
+        layer-plan clones are kept so :meth:`stats` keeps reporting the
+        accumulated counters after close — the same post-close behaviour
+        as :class:`PlanExecutor`.  A later :meth:`run`/:meth:`install`
+        builds a fresh replica generation whose counters merge on top.
+        """
+        with self._state_lock:
+            if not self._installed:
+                return
+            # Wait for in-flight forwards: every replica must be back home.
+            for _ in range(self.workers):
+                self._pool.get()
+            self._installed = False
+
+    # ------------------------------------------------------------------ #
+    def run(self, x: np.ndarray) -> np.ndarray:
+        """One timed forward on whichever replica is free first.
+
+        Blocks until a replica is available; no lock is held while the
+        forward runs, so up to ``workers`` calls proceed concurrently.
+        """
+        x = np.asarray(x)
+        # install() then checkout, retrying on a timeout: a close() racing
+        # this call can drain the pool after our install() check, and a
+        # plain blocking get() would then hang forever.  On retry the
+        # install() is what refills the pool (lazy reinstall-after-close).
+        while True:
+            self.install()
+            try:
+                replica = self._pool.get(timeout=0.05)
+                break
+            except queue.Empty:
+                continue
+        try:
+            t0 = time.perf_counter()
+            y = replica(x)
+            elapsed = time.perf_counter() - t0
+        finally:
+            self._pool.put(replica)
+        with self._stats_lock:
+            self._batches += 1
+            self._samples += int(x.shape[0])
+            self._wall_time += elapsed
+        return y
+
+    # ------------------------------------------------------------------ #
+    def stats(self) -> ExecutorStats:
+        """Counters merged across all replicas plus whole-forward timing.
+
+        ``wall_time`` sums per-forward time across replicas, so with
+        concurrent workers it can exceed elapsed wall-clock — it measures
+        compute volume, like CPU time.  The snapshot is taken without
+        stopping in-flight forwards; concurrently-running batches may be
+        partially reflected.
+        """
+        with self._stats_lock:
+            batches, samples, wall = self._batches, self._samples, self._wall_time
+        with self._state_lock:
+            replica_plans = list(self._replica_plans)
+        layers: dict[str, LayerCounters] = {}
+        for name in self.plan.layers:
+            merged = LayerCounters()
+            for layer_plans in replica_plans:
+                merged = merged.merged_with(layer_plans[name].counters)
+            layers[name] = merged
+        return ExecutorStats(
+            batches=batches,
+            samples=samples,
+            wall_time=wall,
+            layers=layers,
+            cache=dataclasses.replace(self.plan.cache.counters),
+        )
+
+    def reset_stats(self) -> None:
+        with self._stats_lock:
+            self._batches = self._samples = 0
+            self._wall_time = 0.0
+        with self._state_lock:
+            replica_plans = list(self._replica_plans)
+        for layer_plans in replica_plans:
+            for plan in layer_plans.values():
+                plan.counters.reset()
+        self.plan.cache.counters.reset()
+
+
+# ---------------------------------------------------------------------- #
+# Process pool: one worker process per worker, shared-memory operands
+# ---------------------------------------------------------------------- #
+def _pool_worker_main(conn, model_payload: bytes, spec: dict) -> None:
+    """Entry point of one pool worker process.
+
+    Rebuilds the model from its pickle, attaches the shared plan spec
+    (zero-copy operand views into the parent's segment), installs the
+    plan, and serves ``("run", batch)`` requests over the pipe until told
+    to stop.  Every ``run`` reply carries the worker's cumulative
+    per-layer counters so the parent can merge :meth:`stats` without an
+    extra round-trip.
+    """
+    from .cache import OperandCache
+    from .planio import attach_plan
+
+    store = None
+    try:
+        model = pickle.loads(model_payload)
+        plan, store = attach_plan(spec, cache=OperandCache())
+        plan.install(model)
+        model.eval()
+    except Exception as exc:  # surface install failures to the parent
+        try:
+            conn.send(("fail", f"{type(exc).__name__}: {exc}"))
+        finally:
+            if store is not None:
+                store.close()
+            conn.close()
+        return
+    try:
+        conn.send(("ready", None))
+        while True:
+            try:
+                cmd, payload = conn.recv()
+            except EOFError:  # parent vanished: exit quietly
+                break
+            if cmd == "run":
+                try:
+                    t0 = time.perf_counter()
+                    y = model(payload)
+                    elapsed = time.perf_counter() - t0
+                    counters = {
+                        name: lp.counters.snapshot() for name, lp in plan.layers.items()
+                    }
+                    conn.send(("ok", (y, elapsed, counters)))
+                except Exception as exc:
+                    try:
+                        conn.send(("err", exc))
+                    except Exception:  # unpicklable exception object
+                        conn.send(("err", RuntimeError(f"{type(exc).__name__}: {exc}")))
+            elif cmd == "reset":
+                plan.reset_counters()
+                conn.send(("ok", None))
+            elif cmd == "stop":
+                conn.send(("ok", None))
+                break
+    finally:
+        # The plan's arrays are views into the segment: drop them before
+        # detaching, or the munmap would pull the buffer out from under
+        # live ndarray objects.
+        plan.uninstall(model)
+        del plan
+        if store is not None:
+            store.close()
+        conn.close()
+
+
+@dataclasses.dataclass
+class _ProcWorker:
+    uid: int  # unique across pool generations (stats keys)
+    process: object  # multiprocessing.Process (context-specific class)
+    conn: object  # parent end of the pipe
+
+
+class ProcessWorkerPool(WorkerPool):
+    """Execute batches across N worker *processes* sharing one compiled plan.
+
+    The parent pays plan compilation once, exports it once
+    (:func:`~repro.runtime.planio.share_plan` packs every operand array
+    into one shared-memory segment), and pickles the model once.  Each
+    worker process attaches the segment zero-copy — N workers hold one
+    copy of the compressed operands — and runs forwards with no GIL in
+    common, so throughput scales with cores even for the Python-level
+    parts of a forward that thread replicas serialise.
+
+    Outputs are bit-identical to the thread pool (and to
+    :class:`PlanExecutor`): workers run the same kernels over byte-equal
+    operand storage, and request arrays round-trip the pipe losslessly.
+
+    ``mp_context`` picks the start method: the default prefers ``fork``
+    (fast start, shares the parent's page cache) where available and falls
+    back to ``spawn``.  Choose ``spawn`` explicitly when forking a
+    multi-threaded parent is a concern — workers rebuild everything from
+    the pickled model + shared spec either way, so behaviour is identical.
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        plan: ExecutionPlan,
+        workers: int = 2,
+        mp_context: str | None = None,
+        start_timeout: float = 120.0,
+    ) -> None:
+        if workers <= 0:
+            raise ValueError(f"workers must be positive, got {workers}")
+        methods = multiprocessing.get_all_start_methods()
+        if mp_context is None:
+            mp_context = "fork" if "fork" in methods else "spawn"
+        if mp_context not in methods:
+            raise ValueError(
+                f"start method {mp_context!r} unavailable on this platform; "
+                f"options: {methods}"
+            )
+        self.model = model
+        self.plan = plan
+        self.workers = workers
+        self.mp_context = mp_context
+        self._ctx = multiprocessing.get_context(mp_context)
+        self._start_timeout = start_timeout
+        self._free: "queue.Queue[_ProcWorker]" = queue.Queue()
+        self._store = None
+        self._installed = False
+        self._state_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
+        self._live = 0  # workers that will eventually return to the free queue
+        self._uids = itertools.count()
+        self._batches = 0
+        self._samples = 0
+        self._wall_time = 0.0
+        # Latest cumulative per-layer counters per worker uid.  Kept across
+        # close() so stats survive it (old generations merge with new ones,
+        # exactly like the thread pool's retained replica plans).
+        self._counter_snapshots: dict[int, dict[str, LayerCounters]] = {}
+
+    # ------------------------------------------------------------------ #
+    def install(self) -> "ProcessWorkerPool":
+        with self._state_lock:
+            if self._installed:
+                return self
+            from .planio import share_plan
+
+            store, spec = share_plan(self.plan)
+            payload = pickle.dumps(self.model, protocol=pickle.HIGHEST_PROTOCOL)
+            started: list[_ProcWorker] = []
+            try:
+                for _ in range(self.workers):
+                    parent_conn, child_conn = self._ctx.Pipe()
+                    proc = self._ctx.Process(
+                        target=_pool_worker_main,
+                        args=(child_conn, payload, spec),
+                        daemon=True,
+                    )
+                    proc.start()
+                    child_conn.close()  # child's end lives in the child only
+                    started.append(_ProcWorker(next(self._uids), proc, parent_conn))
+                for worker in started:  # handshake: fail fast, with the cause
+                    if not worker.conn.poll(self._start_timeout):
+                        raise RuntimeError(
+                            f"pool worker pid {worker.process.pid} did not report "
+                            f"ready within {self._start_timeout}s"
+                        )
+                    tag, detail = worker.conn.recv()
+                    if tag != "ready":
+                        raise RuntimeError(f"pool worker failed to start: {detail}")
+            except Exception:
+                for worker in started:
+                    if worker.process.is_alive():
+                        worker.process.terminate()
+                    worker.process.join(timeout=5.0)
+                    worker.conn.close()
+                if store is not None:
+                    store.unlink()
+                raise
+            self._store = store
+            for worker in started:
+                self._free.put(worker)
+            with self._stats_lock:
+                self._live = len(started)
+            self._installed = True
+        return self
+
+    def close(self) -> None:
+        """Stop every worker process and destroy the shared segment.
+
+        Waits for in-flight forwards (workers come home before stopping),
+        keeps accumulated counters readable afterwards, and a later
+        :meth:`run`/:meth:`install` brings up a fresh worker generation
+        whose counters merge on top — the same post-close contract as the
+        thread pool.
+        """
+        with self._state_lock:
+            if not self._installed:
+                return
+            collected: list[_ProcWorker] = []
+            while True:
+                with self._stats_lock:
+                    live = self._live
+                if len(collected) >= live:
+                    break
+                try:
+                    collected.append(self._free.get(timeout=0.05))
+                except queue.Empty:
+                    continue  # an in-flight run() will return its worker
+            for worker in collected:
+                try:
+                    worker.conn.send(("stop", None))
+                except (BrokenPipeError, OSError):  # already dead
+                    pass
+            for worker in collected:
+                try:
+                    if worker.conn.poll(5.0):
+                        worker.conn.recv()  # the stop ack
+                except (EOFError, OSError):
+                    pass
+                worker.conn.close()
+            for worker in collected:
+                worker.process.join(timeout=10.0)
+                if worker.process.is_alive():  # pragma: no cover - stuck worker
+                    worker.process.terminate()
+                    worker.process.join(timeout=5.0)
+            if self._store is not None:
+                self._store.unlink()
+                self._store = None
+            with self._stats_lock:
+                self._live = 0
+            self._installed = False
+
+    # ------------------------------------------------------------------ #
+    def run(self, x: np.ndarray) -> np.ndarray:
+        """One timed forward on whichever worker process frees first."""
+        x = np.asarray(x)
+        while True:
+            self.install()
+            with self._stats_lock:
+                live = self._live
+            if live == 0 and self._installed:
+                # Every worker died mid-generation; reinstalling on top of
+                # a broken generation would mask the failure.
+                raise RuntimeError(
+                    "all process-pool workers have died; close() and re-run"
+                )
+            try:
+                worker = self._free.get(timeout=0.05)
+                break
+            except queue.Empty:
+                continue
+        healthy = False
+        try:
+            worker.conn.send(("run", x))
+            tag, payload = worker.conn.recv()
+            healthy = True
+        except (EOFError, BrokenPipeError, OSError) as exc:
+            with self._stats_lock:
+                self._live -= 1  # retired: never returns to the free queue
+            worker.conn.close()
+            if worker.process.is_alive():  # pragma: no cover - pipe-only failure
+                worker.process.terminate()
+            # Reap it: a retired worker never reaches close()'s join, and a
+            # long-lived server accumulating zombies exhausts the process
+            # table.
+            worker.process.join(timeout=5.0)
+            raise RuntimeError(
+                f"process-pool worker pid {worker.process.pid} died mid-request"
+            ) from exc
+        finally:
+            if healthy:
+                self._free.put(worker)
+        if tag == "err":
+            raise payload
+        y, elapsed, counters = payload
+        with self._stats_lock:
+            self._batches += 1
+            self._samples += int(x.shape[0])
+            self._wall_time += elapsed
+            self._counter_snapshots[worker.uid] = counters
+        return y
+
+    # ------------------------------------------------------------------ #
+    def stats(self) -> ExecutorStats:
+        """Counters merged across all worker processes plus forward timing.
+
+        Each worker ships its cumulative per-layer counters with every
+        ``run`` reply, so merging here needs no cross-process round-trip;
+        like the thread pool, ``wall_time`` sums per-forward time across
+        workers (compute volume, not elapsed wall-clock).
+        """
+        with self._stats_lock:
+            batches, samples, wall = self._batches, self._samples, self._wall_time
+            snapshots = list(self._counter_snapshots.values())
+        layers: dict[str, LayerCounters] = {}
+        for name in self.plan.layers:
+            merged = LayerCounters()
+            for snap in snapshots:
+                if name in snap:
+                    merged = merged.merged_with(snap[name])
+            layers[name] = merged
+        return ExecutorStats(
+            batches=batches,
+            samples=samples,
+            wall_time=wall,
+            layers=layers,
+            cache=dataclasses.replace(self.plan.cache.counters),
+        )
+
+    def reset_stats(self) -> None:
+        """Zero parent-side totals and every live worker's counters."""
+        # Under the state lock: a reset draining the free queue concurrently
+        # with a close() (which also collects every live worker) would leave
+        # each holding workers the other waits for, forever.
+        with self._state_lock:
+            collected: list[_ProcWorker] = []
+            if self._installed:
+                # Check every live worker out so no forward is mid-flight
+                # while its counters reset (the same quiesce close()
+                # performs).
+                while True:
+                    with self._stats_lock:
+                        live = self._live
+                    if len(collected) >= live:
+                        break
+                    try:
+                        collected.append(self._free.get(timeout=0.05))
+                    except queue.Empty:
+                        continue
+            try:
+                for worker in collected:
+                    worker.conn.send(("reset", None))
+                for worker in collected:
+                    worker.conn.recv()
+            finally:
+                for worker in collected:
+                    self._free.put(worker)
+        with self._stats_lock:
+            self._batches = self._samples = 0
+            self._wall_time = 0.0
+            self._counter_snapshots.clear()
+        self.plan.cache.counters.reset()
+
+
+# ---------------------------------------------------------------------- #
+POOL_KINDS = ("thread", "process")
+
+
+def make_pool(
+    kind: str,
+    model: Module,
+    plan: ExecutionPlan,
+    workers: int = 2,
+    **kwargs,
+) -> WorkerPool:
+    """Build a worker pool by kind (the CLI's ``--pool`` seam).
+
+    ``"thread"`` → :class:`ThreadWorkerPool`, ``"process"`` →
+    :class:`ProcessWorkerPool`; extra keyword arguments pass through to
+    the pool constructor (e.g. ``mp_context=`` for the process pool).
+    """
+    if kind == "thread":
+        return ThreadWorkerPool(model, plan, workers=workers, **kwargs)
+    if kind == "process":
+        return ProcessWorkerPool(model, plan, workers=workers, **kwargs)
+    raise ValueError(f"unknown pool kind {kind!r}; options: {POOL_KINDS}")

@@ -1,47 +1,27 @@
-"""Replica-parallel executor: one model replica per serving worker.
+"""Back-compat shim: ``ReplicaExecutor`` is now the thread worker pool.
 
-The single-model :class:`~repro.runtime.executor.PlanExecutor` must hold a
-lock across every forward — layers cache forward state on ``self``, so one
-model instance cannot run concurrent batches — which serialises all of the
-serving engine's workers.  This executor removes the lock by giving each
-worker its own *replica* of the model while sharing everything immutable:
-
-- parameter storage is aliased back to the source model (replicas add
-  per-layer Python objects and forward caches, not weight copies);
-- the compiled :class:`~repro.runtime.plan.ExecutionPlan` is shared —
-  every replica serves from the same :class:`CompiledOperand` terms,
-  gather tables, prepared backend state, and operand cache;
-- only the per-layer perf counters are private per replica (cloned via
-  :meth:`ExecutionPlan.clone_layer_plans`), so the hot path never races;
-  :meth:`stats` merges them back into one view.
-
-Replicas are checked out of a pool for the duration of one forward, so up
-to ``replicas`` batches execute concurrently with no shared mutable state
-between them.  Throughput then scales with workers as far as the machine's
-cores (and NumPy's GIL-released regions) allow, instead of serialising on
-an executor lock.
+The replica-parallel executor introduced here generalised into the
+pluggable worker-pool substrate of :mod:`repro.runtime.pool`: the thread
+implementation (:class:`~repro.runtime.pool.ThreadWorkerPool`) is exactly
+the old behaviour — one model replica per worker thread, weights aliased,
+plan shared, per-replica counters merged — and a process implementation
+(:class:`~repro.runtime.pool.ProcessWorkerPool`) scales past the GIL with
+shared-memory operands.  ``ReplicaExecutor`` remains as the established
+name for the thread pool, keeping its ``replicas=`` vocabulary.
 """
 
 from __future__ import annotations
 
-import copy
-import dataclasses
-import queue
-import threading
-import time
-
-import numpy as np
-
 from repro.nn.module import Module
 
-from .counters import ExecutorStats, LayerCounters
-from .plan import ExecutionPlan, LayerPlan
+from .plan import ExecutionPlan
+from .pool import ThreadWorkerPool
 
 __all__ = ["ReplicaExecutor"]
 
 
-class ReplicaExecutor:
-    """Execute batches against one compiled plan across N model replicas.
+class ReplicaExecutor(ThreadWorkerPool):
+    """Thread worker pool under its original name and ``replicas=`` spelling.
 
     Drop-in for :class:`PlanExecutor` wherever only ``install`` / ``run`` /
     ``stats`` are used (the serving engine's contract)::
@@ -50,150 +30,13 @@ class ReplicaExecutor:
         with ReplicaExecutor(model, plan, replicas=4) as ex:
             with ServingEngine(ex, workers=4) as engine:
                 ...
-
-    The source ``model`` itself is never touched: replicas are built from
-    it (weights aliased, not copied) and the plan is installed on the
-    replicas only, so the caller's model keeps its uncompiled forward.
     """
 
     def __init__(self, model: Module, plan: ExecutionPlan, replicas: int = 2) -> None:
         if replicas <= 0:
             raise ValueError(f"replicas must be positive, got {replicas}")
-        self.model = model
-        self.plan = plan
-        self.replicas = replicas
-        self._pool: "queue.Queue[Module]" = queue.Queue()
-        self._replica_plans: list[dict[str, LayerPlan]] = []
-        self._installed = False
-        self._state_lock = threading.Lock()
-        self._stats_lock = threading.Lock()
-        self._batches = 0
-        self._samples = 0
-        self._wall_time = 0.0
+        super().__init__(model, plan, workers=replicas)
 
-    # ------------------------------------------------------------------ #
-    def _build_replica(self) -> tuple[Module, dict[str, LayerPlan]]:
-        # Weights (and eval-time buffers like running BatchNorm statistics)
-        # are immutable at inference: seeding the deepcopy memo with their
-        # arrays makes every replica alias the source model's tensors, so a
-        # replica costs layer objects and forward caches — never weights.
-        memo: dict[int, object] = {}
-        for p in self.model.parameters():
-            memo[id(p.data)] = p.data
-            # Replicas are inference-only, so sharing gradient storage is
-            # safe and avoids duplicating weight-sized buffers per replica.
-            memo[id(p.grad)] = p.grad
-        for _, buf in self.model.named_buffers():
-            memo[id(buf)] = buf
-        replica = copy.deepcopy(self.model, memo)
-        layer_plans = self.plan.clone_layer_plans()
-        self.plan.install(replica, layer_plans)
-        replica.eval()
-        return replica, layer_plans
-
-    def install(self) -> "ReplicaExecutor":
-        with self._state_lock:
-            if not self._installed:
-                for _ in range(self.replicas):
-                    replica, layer_plans = self._build_replica()
-                    self._pool.put(replica)
-                    self._replica_plans.append(layer_plans)
-                self._installed = True
-        return self
-
-    def close(self) -> None:
-        """Discard the replica pool (the source model was never modified).
-
-        Waits for in-flight forwards, then drops the replicas.  Their
-        layer-plan clones are kept so :meth:`stats` keeps reporting the
-        accumulated counters after close — the same post-close behaviour
-        as :class:`PlanExecutor`.  A later :meth:`run`/:meth:`install`
-        builds a fresh replica generation whose counters merge on top.
-        """
-        with self._state_lock:
-            if not self._installed:
-                return
-            # Wait for in-flight forwards: every replica must be back home.
-            for _ in range(self.replicas):
-                self._pool.get()
-            self._installed = False
-
-    def __enter__(self) -> "ReplicaExecutor":
-        return self.install()
-
-    def __exit__(self, *exc) -> None:
-        self.close()
-
-    # ------------------------------------------------------------------ #
-    def run(self, x: np.ndarray) -> np.ndarray:
-        """One timed forward on whichever replica is free first.
-
-        Blocks until a replica is available; no lock is held while the
-        forward runs, so up to ``replicas`` calls proceed concurrently.
-        """
-        x = np.asarray(x)
-        # install() then checkout, retrying on a timeout: a close() racing
-        # this call can drain the pool after our install() check, and a
-        # plain blocking get() would then hang forever.  On retry the
-        # install() is what refills the pool (lazy reinstall-after-close).
-        while True:
-            self.install()
-            try:
-                replica = self._pool.get(timeout=0.05)
-                break
-            except queue.Empty:
-                continue
-        try:
-            t0 = time.perf_counter()
-            y = replica(x)
-            elapsed = time.perf_counter() - t0
-        finally:
-            self._pool.put(replica)
-        with self._stats_lock:
-            self._batches += 1
-            self._samples += int(x.shape[0])
-            self._wall_time += elapsed
-        return y
-
-    def run_many(self, batches) -> list[np.ndarray]:
-        """Run a sequence of batches, returning their outputs in order."""
-        return [self.run(x) for x in batches]
-
-    # ------------------------------------------------------------------ #
-    def stats(self) -> ExecutorStats:
-        """Counters merged across all replicas plus whole-forward timing.
-
-        ``wall_time`` sums per-forward time across replicas, so with
-        concurrent workers it can exceed elapsed wall-clock — it measures
-        compute volume, like CPU time.  The snapshot is taken without
-        stopping in-flight forwards; concurrently-running batches may be
-        partially reflected.
-        """
-        with self._stats_lock:
-            batches, samples, wall = self._batches, self._samples, self._wall_time
-        with self._state_lock:
-            replica_plans = list(self._replica_plans)
-        layers: dict[str, LayerCounters] = {}
-        for name in self.plan.layers:
-            merged = LayerCounters()
-            for layer_plans in replica_plans:
-                merged = merged.merged_with(layer_plans[name].counters)
-            layers[name] = merged
-        return ExecutorStats(
-            batches=batches,
-            samples=samples,
-            wall_time=wall,
-            layers=layers,
-            cache=dataclasses.replace(self.plan.cache.counters),
-        )
-
-    def reset_stats(self) -> None:
-        with self._stats_lock:
-            self._batches = self._samples = 0
-            self._wall_time = 0.0
-        with self._state_lock:
-            replica_plans = list(self._replica_plans)
-        for layer_plans in replica_plans:
-            for plan in layer_plans.values():
-                plan.counters.reset()
-        self.plan.cache.counters.reset()
+    @property
+    def replicas(self) -> int:
+        return self.workers

@@ -4,10 +4,15 @@ Requests are single inputs (or small batches) submitted from any thread.
 Workers coalesce up to ``max_batch`` queued requests within a
 ``batch_window`` seconds time window into one micro-batch, run it through
 the shared executor, split the outputs back per request, and resolve each
-request's future with its result and latency stats.  The executor is
-duck-typed: a :class:`PlanExecutor` serialises worker forwards on its
-lock, while a :class:`~repro.runtime.replica.ReplicaExecutor` lets up to
-``replicas`` workers execute concurrently, each on its own model replica.
+request's future with its result and latency stats.
+
+The engine talks only to the :class:`~repro.runtime.pool.WorkerPool` seam
+(``install`` / ``run`` / ``stats``) and never cares what substrate sits
+behind it: a :class:`PlanExecutor` serialises worker forwards on its
+lock, a :class:`~repro.runtime.pool.ThreadWorkerPool` runs up to
+``workers`` forwards concurrently on per-thread model replicas, and a
+:class:`~repro.runtime.pool.ProcessWorkerPool` runs them in worker
+processes attached to shared-memory operands — no GIL in common.
 
 Micro-batching preserves results exactly: the model is batch-linear (every
 layer treats the leading axis as independent samples), so serving a request
@@ -22,15 +27,11 @@ import threading
 import time
 from concurrent.futures import Future
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
 
 import numpy as np
 
 from .counters import RequestStats, ServeReport
-from .executor import PlanExecutor
-
-if TYPE_CHECKING:  # pragma: no cover - typing only
-    from .replica import ReplicaExecutor
+from .pool import WorkerPool
 
 __all__ = ["ServingEngine"]
 
@@ -48,23 +49,25 @@ class ServingEngine:
 
     Parameters
     ----------
-    executor : PlanExecutor | ReplicaExecutor
-        Shared executor.  A :class:`PlanExecutor`'s internal lock
-        serialises model forwards (workers overlap only queueing and
-        splitting); a :class:`ReplicaExecutor` runs workers' forwards
-        concurrently, one model replica each.
+    executor : WorkerPool
+        Shared execution substrate (anything honouring the
+        :class:`~repro.runtime.pool.WorkerPool` contract).  A
+        :class:`PlanExecutor`'s internal lock serialises model forwards
+        (workers overlap only queueing and splitting); a thread or
+        process pool runs workers' forwards concurrently.
     max_batch : int
         Maximum requests coalesced into one micro-batch.
     batch_window : float
         Seconds a worker waits for additional requests after the first.
     workers : int
-        Worker threads draining the queue.  Pair ``workers=N`` with
-        ``ReplicaExecutor(..., replicas=N)`` to scale throughput.
+        Worker threads draining the queue.  Pair ``workers=N`` with a
+        pool of ``N`` workers (``make_pool(..., workers=N)``) to scale
+        throughput.
     """
 
     def __init__(
         self,
-        executor: "PlanExecutor | ReplicaExecutor",
+        executor: WorkerPool,
         max_batch: int = 8,
         batch_window: float = 0.002,
         workers: int = 1,

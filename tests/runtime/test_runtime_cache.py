@@ -2,13 +2,16 @@
 
 from __future__ import annotations
 
+import multiprocessing
+import threading
+
 import numpy as np
 import pytest
 
 from repro.core import NMPattern, TASDConfig, tasd_matmul
 from repro.core.series import DENSE_CONFIG
 from repro.core.sparse_ops import nm_decompress
-from repro.runtime import OperandCache, tensor_digest
+from repro.runtime import OperandCache, SharedOperandStore, tensor_digest
 from repro.tasder.transform import decompose_activation
 
 CFG = TASDConfig.parse("2:4")
@@ -123,6 +126,163 @@ class TestEviction:
     def test_invalid_capacity(self):
         with pytest.raises(ValueError):
             OperandCache(capacity=0)
+
+
+def _hammer(n_threads: int, work) -> None:
+    """Run ``work(thread_index)`` concurrently from ``n_threads`` threads."""
+    barrier = threading.Barrier(n_threads)
+    errors: list[BaseException] = []
+
+    def runner(i: int) -> None:
+        try:
+            barrier.wait()
+            work(i)
+        except BaseException as exc:  # pragma: no cover - only on test failure
+            errors.append(exc)
+
+    threads = [threading.Thread(target=runner, args=(i,)) for i in range(n_threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors, errors
+
+
+def _attach_worker(conn, segment: str, refs, config_str: str) -> None:
+    """Child process: attach the shared store, adopt, and serve one matmul."""
+    from repro.core import TASDConfig
+    from repro.runtime import OperandCache, SharedOperandStore
+
+    store = SharedOperandStore.attach(segment)
+    try:
+        cache = OperandCache()
+        config = TASDConfig.parse(config_str)
+        fresh = cache.compress(store.get(refs["matrix"]), config)
+        adopted = cache.adopt(tensor_digest(store.get(refs["matrix"])), config, fresh)
+        out = adopted.matmul(store.get(refs["rhs"]))
+        counters = (cache.counters.hits, cache.counters.misses, cache.counters.evictions)
+        conn.send((out, counters))
+    finally:
+        store.close()
+        conn.close()
+
+
+class TestConcurrency:
+    """Hammer the cache's counters and identity guarantees concurrently.
+
+    The contracts under fire: ``hits + misses == lookups`` never drifts, a
+    key only ever materialises one operand object (racing builders may
+    duplicate *work*, but exactly one result is kept and returned to every
+    caller), and eviction never leaves the store over capacity.
+    """
+
+    N_THREADS = 8
+    ROUNDS = 25
+
+    def test_compress_counters_consistent_and_single_object(self, rng):
+        cache = OperandCache(capacity=64)
+        mats = [rng.normal(size=(8, 16)) + i for i in range(4)]
+        results: list[list] = [[] for _ in range(self.N_THREADS)]
+
+        def work(i: int) -> None:
+            for r in range(self.ROUNDS):
+                results[i].append(cache.compress(mats[(i + r) % len(mats)], CFG))
+
+        _hammer(self.N_THREADS, work)
+        total = self.N_THREADS * self.ROUNDS
+        assert cache.counters.lookups == total
+        assert cache.counters.hits + cache.counters.misses == total
+        assert cache.counters.evictions == 0
+        # No double materialisation: every caller of a key got one object.
+        by_key: dict[str, set[int]] = {}
+        for i in range(self.N_THREADS):
+            for r, op in enumerate(results[i]):
+                key = tensor_digest(mats[(i + r) % len(mats)])
+                by_key.setdefault(key, set()).add(id(op))
+        assert len(by_key) == len(mats)
+        assert all(len(ids) == 1 for ids in by_key.values())
+
+    def test_eviction_hammering_never_overflows_capacity(self, rng):
+        cache = OperandCache(capacity=3)
+        mats = [rng.normal(size=(4, 8)) + i for i in range(8)]
+
+        def work(i: int) -> None:
+            for r in range(self.ROUNDS):
+                cache.compress(mats[(i * 3 + r) % len(mats)], CFG)
+
+        _hammer(self.N_THREADS, work)
+        assert len(cache) <= 3
+        total = self.N_THREADS * self.ROUNDS
+        assert cache.counters.lookups == total
+        assert cache.counters.evictions >= len(mats) - 3
+        assert cache.counters.misses >= len(mats)
+
+    def test_adopt_hammering_single_incumbent(self, rng):
+        cache = OperandCache(capacity=16)
+        matrix = rng.normal(size=(8, 16))
+        digest = tensor_digest(matrix)
+        candidates = [OperandCache().compress(matrix, CFG) for _ in range(self.N_THREADS)]
+        winners: list[object] = [None] * self.N_THREADS
+
+        def work(i: int) -> None:
+            winners[i] = cache.adopt(digest, CFG, candidates[i])
+
+        _hammer(self.N_THREADS, work)
+        # Exactly one candidate won; every later adopter got the incumbent,
+        # and adoption counted as neither hit nor miss.
+        assert len({id(w) for w in winners}) == 1
+        assert cache.counters.lookups == 0
+        assert cache.digest_of(winners[0]) == digest
+
+    def test_view_hammering_counters_consistent(self, rng):
+        cache = OperandCache(capacity=32)
+        xs = [rng.normal(size=(2, 16)) for _ in range(3)]
+        outs: list[list] = [[] for _ in range(self.N_THREADS)]
+
+        def work(i: int) -> None:
+            for r in range(self.ROUNDS):
+                outs[i].append(cache.view(xs[(i + r) % len(xs)], CFG))
+
+        _hammer(self.N_THREADS, work)
+        total = self.N_THREADS * self.ROUNDS
+        assert cache.counters.lookups == total
+        for i in range(self.N_THREADS):
+            for r, out in enumerate(outs[i]):
+                np.testing.assert_array_equal(
+                    out, decompose_activation(xs[(i + r) % len(xs)], CFG, -1)
+                )
+
+    def test_adopt_from_many_processes_serves_identically(self, rng):
+        """Workers attaching one shared segment adopt + serve the same bits."""
+        matrix = rng.normal(size=(8, 16)) * (rng.random((8, 16)) < 0.5)
+        rhs = rng.normal(size=(16, 4))
+        store, refs = SharedOperandStore.create({"matrix": matrix, "rhs": rhs})
+        try:
+            ref = OperandCache().compress(matrix, CFG).matmul(rhs)
+            ctx = multiprocessing.get_context(
+                "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+            )
+            pipes, procs = [], []
+            for _ in range(3):
+                parent, child = ctx.Pipe()
+                p = ctx.Process(
+                    target=_attach_worker, args=(child, store.name, refs, str(CFG))
+                )
+                p.start()
+                child.close()
+                pipes.append(parent)
+                procs.append(p)
+            for conn, p in zip(pipes, procs):
+                out, (hits, misses, evictions) = conn.recv()
+                np.testing.assert_array_equal(out, ref)
+                # Each worker's private cache saw exactly its own compress.
+                assert (hits, misses, evictions) == (0, 1, 0)
+                conn.close()
+            for p in procs:
+                p.join(timeout=30.0)
+                assert p.exitcode == 0
+        finally:
+            store.unlink()
 
 
 class TestViewCache:
