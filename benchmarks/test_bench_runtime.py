@@ -18,12 +18,19 @@ cores to scale onto) and process workers over shared-memory operands
 ``test_runtime_plan_persistence_warm_restart`` fences the restart story:
 loading a persisted plan artifact must be >= 5x faster than compile +
 autotune, with identical backend choices and bit-identical served outputs.
+
+``test_runtime_metrics_overhead`` fences the telemetry spine: serving with
+the metrics registry and request tracing enabled must stay within 5 % of
+the uninstrumented engine's throughput, and it writes the repo's
+``BENCH_runtime.json`` trajectory point (throughput, p50/p95/p99).
 """
 
 from __future__ import annotations
 
+import json
 import os
 import time
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -296,6 +303,73 @@ def test_runtime_plan_persistence_warm_restart(serving_setup, tmp_path):
         warm = executor.run(x)
     np.testing.assert_array_equal(warm, fresh)
     assert speedup >= 5.0, f"plan load only {speedup:.1f}x faster than compile+autotune"
+
+
+def test_runtime_metrics_overhead(serving_setup):
+    """Acceptance fence: metrics-enabled serving within 5 % of disabled.
+
+    The hot path pays one histogram observe per request plus a handful of
+    counter increments per micro-batch — bisect into a fixed bucket table
+    under an uncontended lock — so instrumentation must be throughput-
+    neutral.  Interleaved rounds with best-of medians damp scheduler noise;
+    the winning instrumented round also provides the latency percentiles
+    for the ``BENCH_runtime.json`` trajectory point.
+    """
+    model, transform, x = serving_setup
+    plan = compile_plan(model, transform, autotune=True, autotune_repeats=2)
+    requests = 48
+
+    def serve_round(metrics: bool):
+        with PlanExecutor(model, plan) as executor:
+            with ServingEngine(
+                executor, max_batch=4, batch_window=0.0, workers=2, metrics=metrics
+            ) as engine:
+                futures = [engine.submit(x[:1]) for _ in range(requests)]
+                for f in futures:
+                    f.result(timeout=120.0)
+        report = engine.report()
+        assert report.count == requests
+        return report
+
+    serve_round(True)  # warm caches/threads outside the measurement
+    on_reports, off_throughputs = [], []
+    for _ in range(5):  # interleaved so drift hits both configs alike
+        off_throughputs.append(serve_round(False).throughput)
+        on_reports.append(serve_round(True))
+    off = max(off_throughputs)
+    best = max(on_reports, key=lambda r: r.throughput)
+    on = best.throughput
+    overhead = 1.0 - on / off
+    print(
+        f"\nserving throughput: metrics off {off:.1f} req/s, on {on:.1f} req/s "
+        f"-> {overhead * 100.0:+.1f}% overhead; instrumented p50 "
+        f"{best.p50 * 1e3:.2f} ms / p95 {best.p95 * 1e3:.2f} ms / "
+        f"p99 {best.p99 * 1e3:.2f} ms"
+    )
+    bench_path = Path(__file__).resolve().parents[1] / "BENCH_runtime.json"
+    bench_path.write_text(
+        json.dumps(
+            {
+                "workload": "serving: 48 x 1-sample requests, autotuned sparse "
+                "ResNet-18, 2 engine workers, max_batch 4",
+                "throughput_rps": round(on, 2),
+                "throughput_uninstrumented_rps": round(off, 2),
+                "metrics_overhead_pct": round(overhead * 100.0, 2),
+                "latency_ms": {
+                    "p50": round(best.p50 * 1e3, 3),
+                    "p95": round(best.p95 * 1e3, 3),
+                    "p99": round(best.p99 * 1e3, 3),
+                },
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    assert on > 0 and off > 0
+    assert overhead <= 0.05, (
+        f"metrics-enabled serving {overhead * 100.0:.1f}% slower than disabled "
+        f"(fence: 5%)"
+    )
 
 
 def test_runtime_compiled_speedup(serving_setup):

@@ -15,6 +15,13 @@ final section serves the same plan through a pool of worker processes
 attached to it via shared memory, scaling past the GIL with bit-identical
 outputs.
 
+The runtime is also *observable while it serves* (section 6): the engine
+records latency / queue-wait / batch-size histograms and per-request span
+traces as it runs, and ``engine.serve_metrics(port=...)`` exposes them
+over HTTP — Prometheus ``/metrics``, ``/metrics.json``, ``/healthz``, and
+a human-readable ``/statusz`` — so you can watch a live server instead of
+waiting for a post-mortem ``report()``.
+
 Run:  python examples/serve_resnet.py
 """
 
@@ -110,4 +117,38 @@ if __name__ == "__main__":
     for a, b in zip(thread_outputs, process_outputs):
         np.testing.assert_array_equal(b, a)  # bit-identical across substrates
     print("process-pool outputs bit-identical to thread-pool outputs")
+
+    # -----------------------------------------------------------------------
+    # 6. Watch it live: serve with the metrics endpoint up and scrape your
+    #    own /metrics mid-flight.  Everything the runtime counts is there —
+    #    request-latency histograms (the same fixed log-spaced buckets on
+    #    every worker, so process workers' histograms merged in exactly),
+    #    per-layer GEMM latency by kernel backend, cache hit/miss counters,
+    #    and a liveness gauge per pool worker.  Point a real Prometheus at
+    #    the same URL, or open /statusz in a browser for the recent-request
+    #    trace table.  (`python -m repro.cli serve --metrics-port 9100` is
+    #    the one-line version of this section.)
+    # -----------------------------------------------------------------------
+    import json
+    import urllib.request
+
+    with make_pool("process", model, plan, workers=2) as pool:
+        with ServingEngine(pool, max_batch=4, batch_window=0.002, workers=2) as engine:
+            with engine.serve_metrics(port=0) as server:  # port=0: ephemeral
+                print(f"\nmetrics live at {server.url}/metrics")
+                futures = [engine.submit(x) for x in inputs]
+                for f in futures:
+                    f.result(timeout=120.0)
+                health = json.load(urllib.request.urlopen(server.url + "/healthz"))
+                scrape = urllib.request.urlopen(server.url + "/metrics").read().decode()
+    print(f"healthz: {health}")
+    print("scraped mid-flight:")
+    for line in scrape.splitlines():
+        if line.startswith(("tasd_serve_requests_total", "tasd_worker_alive")) or (
+            line.startswith("tasd_serve_request_latency_seconds_bucket") and "+Inf" in line
+        ):
+            print(f"  {line}")
+    report = engine.report()
+    print(f"report agrees: {report.count} requests, "
+          f"p50 {report.p50 * 1e3:.1f} ms / p99 {report.p99 * 1e3:.1f} ms")
 

@@ -14,6 +14,8 @@ Usage::
     python -m repro.cli serve --pool thread --workers 4     # replica-parallel
     python -m repro.cli serve --pool process --workers 4    # past the GIL
     python -m repro.cli serve --autotune --tune-observed    # tune on real shapes
+    python -m repro.cli serve --metrics-port 9100           # live /metrics scrape
+    python -m repro.cli compile --metrics-json plan_metrics.json
 
 Compiled plans persist across restarts: ``compile --autotune --save-plan
 plan.npz`` pays decomposition + tuning once and writes a digest-keyed
@@ -170,6 +172,20 @@ def _compile(args: argparse.Namespace) -> str:
     if args.save_plan is not None:
         path = _save_plan_or_exit(plan, args.save_plan)
         lines.append(f"plan saved to {path} (reload with --plan {path})")
+    if args.metrics_json is not None:
+        import json
+
+        snapshot = plan.metrics_registry().snapshot()
+        try:
+            with open(args.metrics_json, "w") as fh:
+                json.dump(snapshot, fh, indent=2, sort_keys=True)
+        except OSError as exc:
+            raise SystemExit(
+                f"cannot write metrics to {args.metrics_json}: {exc}"
+            ) from None
+        lines.append(
+            f"compile metrics ({len(snapshot)} families) written to {args.metrics_json}"
+        )
     return "\n".join(lines)
 
 
@@ -227,16 +243,50 @@ def _serve(args: argparse.Namespace) -> str:
         executor_cm = PlanExecutor(model, plan)  # the degenerate one-worker pool
     else:
         executor_cm = make_pool(args.pool, model, plan, workers=workers)
+    metrics_note = None
     with executor_cm as executor:
         with ServingEngine(
             executor, max_batch=args.max_batch, batch_window=args.window, workers=workers
         ) as engine:
-            futures = [engine.submit(x) for x in requests]
-            for f in futures:
-                f.result(timeout=120.0)
+            server = (
+                engine.serve_metrics(port=args.metrics_port)
+                if args.metrics_port is not None
+                else None
+            )
+            try:
+                futures = [engine.submit(x) for x in requests]
+                for f in futures:
+                    f.result(timeout=120.0)
+                if server is not None:
+                    metrics_note = _scrape_own_metrics(server)
+            finally:
+                if server is not None:
+                    server.close()
         report = engine.report()
         stats = executor.stats()
-    return "\n\n".join(lines + [stats.table(), report.summary()])
+    tail = [stats.table(), report.summary()]
+    if metrics_note is not None:
+        tail.append(metrics_note)
+    return "\n\n".join(lines + tail)
+
+
+def _scrape_own_metrics(server) -> str:
+    """Scrape the engine's own /metrics endpoint for the serve demo output."""
+    import urllib.request
+
+    with urllib.request.urlopen(server.url + "/metrics", timeout=10.0) as resp:
+        body = resp.read().decode("utf-8")
+    keep = [
+        line
+        for line in body.splitlines()
+        if line.startswith(("tasd_serve_requests_total", "tasd_worker_alive"))
+        or (line.startswith("tasd_serve_request_latency_seconds") and "+Inf" in line)
+    ]
+    return "\n".join(
+        [f"metrics endpoint served at {server.url}/metrics "
+         f"({len(body.splitlines())} lines); sample:"]
+        + ["  " + line for line in keep]
+    )
 
 
 def _table(n: int) -> Callable[[argparse.Namespace], str]:
@@ -341,6 +391,21 @@ def main(argv: list[str] | None = None) -> int:
         metavar="PATH",
         help="persist the compiled plan (operands, gather tables, autotuned "
         "backend choices) to a .npz artifact after compiling (compile/serve)",
+    )
+    parser.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="N",
+        help="serve a live Prometheus /metrics endpoint on this port while "
+        "requests run (0 picks an ephemeral port) (serve)",
+    )
+    parser.add_argument(
+        "--metrics-json",
+        default=None,
+        metavar="PATH",
+        help="write the compiled plan's metrics snapshot (layer nnz, backend "
+        "choices, cache occupancy) as JSON (compile)",
     )
     parser.add_argument(
         "--plan",

@@ -39,6 +39,15 @@ gather tables, and autotuned backend choices included — without
 re-decomposing or re-tuning, refusing models whose weights have drifted;
 ``share_plan``/``attach_plan`` hand the same artifact contents to worker
 processes as zero-copy shared-memory views.
+
+The runtime is observable end to end (:mod:`repro.runtime.metrics`,
+:mod:`repro.runtime.tracing`): per-layer GEMM latency histograms with
+fixed buckets merge exactly across thread and process workers, the
+serving engine records queue-wait / batch-size / end-to-end latency
+histograms plus per-request traces in a bounded ring, and
+``engine.serve_metrics(port=9100)`` exposes it all over HTTP —
+``/metrics`` (Prometheus text), ``/metrics.json``, ``/healthz``, and a
+human-readable ``/statusz`` — using only the stdlib HTTP server.
 """
 
 from .autotune import AutotuneResult, autotune_operand, retune_plan
@@ -63,8 +72,20 @@ from .counters import (
     LayerCounters,
     RequestStats,
     ServeReport,
+    WorkerStat,
 )
 from .executor import PlanExecutor
+from .metrics import (
+    LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsServer,
+    export_executor_stats,
+    merge_snapshots,
+    render_prometheus,
+)
 from .plan import ExecutionPlan, LayerPlan, compile_plan
 from .planio import (
     PlanDigestError,
@@ -84,17 +105,24 @@ from .pool import (
 )
 from .replica import ReplicaExecutor
 from .serve import ServingEngine
+from .tracing import RequestTrace, Span, TraceBuffer
 
 __all__ = [
     "AutotuneResult",
     "CacheCounters",
     "CompiledOperand",
+    "Counter",
     "DEFAULT_BACKEND",
     "ExecutionPlan",
     "ExecutorStats",
+    "Gauge",
     "GemmBackend",
+    "Histogram",
+    "LATENCY_BUCKETS",
     "LayerCounters",
     "LayerPlan",
+    "MetricsRegistry",
+    "MetricsServer",
     "OperandCache",
     "POOL_KINDS",
     "PlanDigestError",
@@ -103,22 +131,29 @@ __all__ = [
     "ProcessWorkerPool",
     "ReplicaExecutor",
     "RequestStats",
+    "RequestTrace",
     "ServeReport",
     "ServingEngine",
     "SharedArrayRef",
     "SharedOperandStore",
+    "Span",
     "ThreadWorkerPool",
+    "TraceBuffer",
     "WorkerPool",
+    "WorkerStat",
     "attach_plan",
     "autotune_operand",
     "backend_names",
     "compile_plan",
     "exact_backend_names",
+    "export_executor_stats",
     "get_backend",
     "load_plan",
     "make_pool",
+    "merge_snapshots",
     "model_fingerprint",
     "register_backend",
+    "render_prometheus",
     "retune_plan",
     "save_plan",
     "share_plan",

@@ -181,6 +181,19 @@ class OperandCache:
         with self._lock:
             self._store.clear()
 
+    def info(self) -> dict:
+        """Occupancy + counter snapshot (the telemetry exporter's view)."""
+        with self._lock:
+            resident = len(self._store)
+        return {
+            "capacity": self.capacity,
+            "resident": resident,
+            "hits": self.counters.hits,
+            "misses": self.counters.misses,
+            "evictions": self.counters.evictions,
+            "hit_rate": self.counters.hit_rate,
+        }
+
     def _insert(self, key: tuple, value: object) -> None:
         """Store ``key`` and evict LRU entries past capacity.  Lock held by caller."""
         self._store[key] = value

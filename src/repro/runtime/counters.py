@@ -11,12 +11,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from .metrics import Histogram
+
 __all__ = [
     "CacheCounters",
     "LayerCounters",
     "ExecutorStats",
     "RequestStats",
     "ServeReport",
+    "WorkerStat",
 ]
 
 
@@ -60,6 +63,11 @@ class LayerCounters:
     # This is the shape the autotuner's ``sample_cols`` stands in for, so a
     # recorded serving run can re-tune on real shapes instead of a guess.
     col_widths: dict[int, int] = field(default_factory=dict)
+    # Per-call GEMM latency over the runtime's fixed log-spaced buckets.
+    # Fixed bounds make the merge across workers (threads or processes)
+    # exact, so the /metrics per-layer histograms reflect every worker;
+    # the process pool ships this with its cumulative reply counters.
+    gemm_seconds: Histogram = field(default_factory=Histogram)
 
     @property
     def mac_fraction(self) -> float:
@@ -71,6 +79,7 @@ class LayerCounters:
         self.structured_macs += structured
         self.dense_macs += dense
         self.wall_time += seconds
+        self.gemm_seconds.observe(seconds)
         if cols is not None:
             self.col_widths[cols] = self.col_widths.get(cols, 0) + 1
 
@@ -96,6 +105,7 @@ class LayerCounters:
             dense_macs=self.dense_macs + other.dense_macs,
             wall_time=self.wall_time + other.wall_time,
             col_widths=widths,
+            gemm_seconds=self.gemm_seconds.merged_with(other.gemm_seconds),
         )
 
     def snapshot(self) -> "LayerCounters":
@@ -110,12 +120,14 @@ class LayerCounters:
             dense_macs=self.dense_macs,
             wall_time=self.wall_time,
             col_widths=dict(self.col_widths),
+            gemm_seconds=self.gemm_seconds.snapshot(),
         )
 
     def reset(self) -> None:
         self.calls = self.structured_macs = self.dense_macs = 0
         self.wall_time = 0.0
         self.col_widths.clear()
+        self.gemm_seconds.reset()
 
 
 @dataclass
@@ -198,12 +210,32 @@ class RequestStats:
         )
 
 
+@dataclass(frozen=True)
+class WorkerStat:
+    """Liveness + served-request count of one pool worker (gauge fodder)."""
+
+    uid: int
+    alive: bool
+    requests: int
+
+
 @dataclass
 class ServeReport:
-    """Aggregate latency/throughput report over a batch of served requests."""
+    """Aggregate latency/throughput report over a batch of served requests.
+
+    Every derived quantity is well-defined on an *empty* report (a server
+    that started and stopped without traffic): means, percentiles, and
+    throughput all report 0.0 — never a division by the served count, so
+    never NaN/inf in a ``summary()``.
+    """
 
     requests: list[RequestStats] = field(default_factory=list)
     wall_time: float = 0.0
+    # End-to-end latency histogram over the runtime's fixed log-spaced
+    # buckets.  When the serving engine's metrics are on this is a snapshot
+    # of its live histogram (bucket-exact with what /metrics exports);
+    # otherwise it is built lazily from the recorded requests.
+    histogram: Histogram | None = None
 
     @property
     def count(self) -> int:
@@ -233,6 +265,32 @@ class ServeReport:
         rank = min(len(ordered) - 1, max(0, int(round(q / 100.0 * (len(ordered) - 1)))))
         return ordered[rank]
 
+    def latency_histogram(self) -> Histogram:
+        """The latency histogram behind :attr:`p50`/:attr:`p95`/:attr:`p99`.
+
+        The engine-provided one when present (bucket-exact with the
+        ``/metrics`` export, merged across all serving workers), else built
+        from the recorded per-request latencies over the same buckets.
+        """
+        if self.histogram is not None:
+            return self.histogram
+        h = Histogram()
+        for r in self.requests:
+            h.observe(r.latency)
+        return h
+
+    @property
+    def p50(self) -> float:
+        return self.latency_histogram().percentile(50)
+
+    @property
+    def p95(self) -> float:
+        return self.latency_histogram().percentile(95)
+
+    @property
+    def p99(self) -> float:
+        return self.latency_histogram().percentile(99)
+
     @property
     def throughput(self) -> float:
         """Requests per second over the serving window."""
@@ -243,7 +301,8 @@ class ServeReport:
             f"{self.count} requests ({self.samples} samples) in "
             f"{self.wall_time * 1e3:.1f} ms — {self.throughput:.1f} req/s, "
             f"latency mean {self.mean_latency * 1e3:.2f} ms / "
-            f"p50 {self.latency_percentile(50) * 1e3:.2f} ms / "
-            f"p95 {self.latency_percentile(95) * 1e3:.2f} ms, "
+            f"p50 {self.p50 * 1e3:.2f} ms / "
+            f"p95 {self.p95 * 1e3:.2f} ms / "
+            f"p99 {self.p99 * 1e3:.2f} ms, "
             f"mean micro-batch {self.mean_batch_size:.1f}"
         )

@@ -28,7 +28,7 @@ import numpy as np
 
 from repro.nn.module import Module
 
-from .counters import ExecutorStats
+from .counters import ExecutorStats, WorkerStat
 from .plan import ExecutionPlan
 
 __all__ = ["PlanExecutor"]
@@ -114,6 +114,11 @@ class PlanExecutor:
                 },
                 cache=dataclasses.replace(self.plan.cache.counters),
             )
+
+    def worker_stats(self) -> list[WorkerStat]:
+        """The degenerate pool's one worker: alive while installed."""
+        with self._lock:
+            return [WorkerStat(uid=0, alive=self._installed, requests=self._batches)]
 
     def reset_stats(self) -> None:
         with self._lock:

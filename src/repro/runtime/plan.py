@@ -195,6 +195,54 @@ class ExecutionPlan:
             if plan.mode == "compiled"
         }
 
+    def metrics_registry(self):
+        """One-shot registry of compile-time metrics (CLI ``--metrics-json``).
+
+        Covers everything knowable without serving traffic: build time,
+        compressed footprint, per-layer nnz/slots and the chosen kernel
+        backend, cache occupancy and counters, plus any execution counters
+        the plan has already accumulated.  ``registry.snapshot()`` is the
+        JSON artifact; ``registry.render()`` the Prometheus text.
+        """
+        from .metrics import MetricsRegistry, export_executor_stats
+
+        registry = MetricsRegistry()
+        registry.gauge("tasd_plan_layers", "Layers covered by the plan").set(len(self.layers))
+        registry.gauge("tasd_plan_build_seconds", "Plan compile time").set(self.build_time)
+        registry.gauge("tasd_plan_total_nnz", "Non-zeros across compressed operands").set(
+            self.total_nnz
+        )
+        registry.gauge("tasd_plan_compressed_bytes", "Compressed operand storage").set(
+            self.compressed_bits / 8
+        )
+        layer_nnz = registry.gauge(
+            "tasd_plan_layer_nnz", "Compressed non-zeros per layer", labels=("layer",)
+        )
+        layer_info = registry.gauge(
+            "tasd_plan_layer_info",
+            "1 per layer, keyed by execution mode and kernel backend",
+            labels=("layer", "mode", "backend"),
+        )
+        for name, lp in self.layers.items():
+            layer_nnz.labels(layer=name).set(lp.operand.total_nnz if lp.operand else 0)
+            backend = lp.backend if lp.mode == "compiled" else lp.mode
+            layer_info.labels(layer=name, mode=lp.mode, backend=backend).set(1)
+        info = self.cache.info()
+        registry.gauge("tasd_cache_resident", "Operand-cache entries resident").set(
+            info["resident"]
+        )
+        registry.gauge("tasd_cache_capacity", "Operand-cache capacity bound").set(
+            info["capacity"]
+        )
+        from .counters import ExecutorStats
+
+        stats = ExecutorStats(
+            layers={name: lp.counters.snapshot() for name, lp in self.layers.items()},
+            cache=dataclasses.replace(self.cache.counters),
+        )
+        export_executor_stats(registry, stats, self.backend_choices())
+        return registry
+
     def clone_layer_plans(self) -> dict[str, LayerPlan]:
         """Per-replica layer plans: shared operands, private counters.
 

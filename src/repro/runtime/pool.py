@@ -46,7 +46,7 @@ import numpy as np
 
 from repro.nn.module import Module
 
-from .counters import ExecutorStats, LayerCounters
+from .counters import ExecutorStats, LayerCounters, WorkerStat
 from .executor import PlanExecutor
 from .plan import ExecutionPlan, LayerPlan
 
@@ -104,6 +104,15 @@ class WorkerPool(abc.ABC):
     @abc.abstractmethod
     def reset_stats(self) -> None:
         """Zero every counter this pool reports."""
+
+    def worker_stats(self) -> list[WorkerStat]:
+        """Per-worker liveness + served-forward counts (telemetry gauges).
+
+        Retired workers (previous generations, mid-request deaths) stay
+        listed with ``alive=False`` so a scrape can alert on them; the
+        default is an empty list for substrates with no worker identity.
+        """
+        return []
 
     def __enter__(self) -> "WorkerPool":
         return self.install()
@@ -166,6 +175,12 @@ class ThreadWorkerPool(WorkerPool):
         self._batches = 0
         self._samples = 0
         self._wall_time = 0.0
+        # Worker identity for telemetry: uid per replica, unique across
+        # generations; request counts survive close() like the counters do.
+        self._uids = itertools.count()
+        self._replica_uid: dict[int, int] = {}  # id(replica) -> uid
+        self._worker_requests: dict[int, int] = {}
+        self._current_uids: set[int] = set()
 
     # ------------------------------------------------------------------ #
     def _build_replica(self) -> tuple[Module, dict[str, LayerPlan]]:
@@ -192,6 +207,11 @@ class ThreadWorkerPool(WorkerPool):
             if not self._installed:
                 for _ in range(self.workers):
                     replica, layer_plans = self._build_replica()
+                    uid = next(self._uids)
+                    with self._stats_lock:
+                        self._replica_uid[id(replica)] = uid
+                        self._worker_requests.setdefault(uid, 0)
+                        self._current_uids.add(uid)
                     self._pool.put(replica)
                     self._replica_plans.append(layer_plans)
                 self._installed = True
@@ -211,7 +231,13 @@ class ThreadWorkerPool(WorkerPool):
                 return
             # Wait for in-flight forwards: every replica must be back home.
             for _ in range(self.workers):
-                self._pool.get()
+                replica = self._pool.get()
+                with self._stats_lock:
+                    # Drop the id mapping: the replica is about to be GC'd
+                    # and a later generation's replica could reuse its id().
+                    self._replica_uid.pop(id(replica), None)
+            with self._stats_lock:
+                self._current_uids.clear()
             self._installed = False
 
     # ------------------------------------------------------------------ #
@@ -238,11 +264,14 @@ class ThreadWorkerPool(WorkerPool):
             y = replica(x)
             elapsed = time.perf_counter() - t0
         finally:
+            uid = self._replica_uid.get(id(replica))
             self._pool.put(replica)
         with self._stats_lock:
             self._batches += 1
             self._samples += int(x.shape[0])
             self._wall_time += elapsed
+            if uid is not None:
+                self._worker_requests[uid] = self._worker_requests.get(uid, 0) + 1
         return y
 
     # ------------------------------------------------------------------ #
@@ -273,10 +302,19 @@ class ThreadWorkerPool(WorkerPool):
             cache=dataclasses.replace(self.plan.cache.counters),
         )
 
+    def worker_stats(self) -> list[WorkerStat]:
+        with self._stats_lock:
+            current, installed = set(self._current_uids), self._installed
+            return [
+                WorkerStat(uid=uid, alive=installed and uid in current, requests=n)
+                for uid, n in sorted(self._worker_requests.items())
+            ]
+
     def reset_stats(self) -> None:
         with self._stats_lock:
             self._batches = self._samples = 0
             self._wall_time = 0.0
+            self._worker_requests = {uid: 0 for uid in self._worker_requests}
         with self._state_lock:
             replica_plans = list(self._replica_plans)
         for layer_plans in replica_plans:
@@ -420,6 +458,10 @@ class ProcessWorkerPool(WorkerPool):
         # close() so stats survive it (old generations merge with new ones,
         # exactly like the thread pool's retained replica plans).
         self._counter_snapshots: dict[int, dict[str, LayerCounters]] = {}
+        # Telemetry: liveness + served-forward count per worker uid.  Kept
+        # across close() too, so a scrape can still see retired workers.
+        self._worker_alive: dict[int, bool] = {}
+        self._worker_requests: dict[int, int] = {}
 
     # ------------------------------------------------------------------ #
     def install(self) -> "ProcessWorkerPool":
@@ -465,6 +507,9 @@ class ProcessWorkerPool(WorkerPool):
                 self._free.put(worker)
             with self._stats_lock:
                 self._live = len(started)
+                for worker in started:
+                    self._worker_alive[worker.uid] = True
+                    self._worker_requests.setdefault(worker.uid, 0)
             self._installed = True
         return self
 
@@ -512,6 +557,8 @@ class ProcessWorkerPool(WorkerPool):
                 self._store = None
             with self._stats_lock:
                 self._live = 0
+                for worker in collected:
+                    self._worker_alive[worker.uid] = False
             self._installed = False
 
     # ------------------------------------------------------------------ #
@@ -541,6 +588,7 @@ class ProcessWorkerPool(WorkerPool):
         except (EOFError, BrokenPipeError, OSError) as exc:
             with self._stats_lock:
                 self._live -= 1  # retired: never returns to the free queue
+                self._worker_alive[worker.uid] = False
             worker.conn.close()
             if worker.process.is_alive():  # pragma: no cover - pipe-only failure
                 worker.process.terminate()
@@ -562,6 +610,7 @@ class ProcessWorkerPool(WorkerPool):
             self._samples += int(x.shape[0])
             self._wall_time += elapsed
             self._counter_snapshots[worker.uid] = counters
+            self._worker_requests[worker.uid] = self._worker_requests.get(worker.uid, 0) + 1
         return y
 
     # ------------------------------------------------------------------ #
@@ -590,6 +639,23 @@ class ProcessWorkerPool(WorkerPool):
             layers=layers,
             cache=dataclasses.replace(self.plan.cache.counters),
         )
+
+    def worker_stats(self) -> list[WorkerStat]:
+        """Liveness + served counts per worker process, retired ones included.
+
+        A worker that died mid-request (or was closed with its generation)
+        stays listed with ``alive=False`` — the signal the ``/healthz``
+        endpoint and the per-worker gauges alert on.
+        """
+        with self._stats_lock:
+            return [
+                WorkerStat(
+                    uid=uid,
+                    alive=self._worker_alive.get(uid, False),
+                    requests=self._worker_requests.get(uid, 0),
+                )
+                for uid in sorted(self._worker_alive)
+            ]
 
     def reset_stats(self) -> None:
         """Zero parent-side totals and every live worker's counters."""
@@ -623,6 +689,7 @@ class ProcessWorkerPool(WorkerPool):
             self._batches = self._samples = 0
             self._wall_time = 0.0
             self._counter_snapshots.clear()
+            self._worker_requests = {uid: 0 for uid in self._worker_requests}
         self.plan.cache.counters.reset()
 
 

@@ -1,4 +1,4 @@
-"""Serving engine: request queue, micro-batching, worker loop.
+"""Serving engine: request queue, micro-batching, worker loop, telemetry.
 
 Requests are single inputs (or small batches) submitted from any thread.
 Workers coalesce up to ``max_batch`` queued requests within a
@@ -17,6 +17,19 @@ processes attached to shared-memory operands — no GIL in common.
 Micro-batching preserves results exactly: the model is batch-linear (every
 layer treats the leading axis as independent samples), so serving a request
 inside a micro-batch returns the same values as serving it alone.
+
+The engine is *observable while running* (the telemetry spine):
+
+- every request feeds latency / queue-wait / batch-size / window-occupancy
+  histograms in a :class:`~repro.runtime.metrics.MetricsRegistry` and
+  leaves a span trace (``enqueue → batch_form → execute → reply``) in a
+  bounded ring buffer (:meth:`traces`);
+- :meth:`metrics_snapshot` assembles one scrape from the engine's own
+  registry plus scrape-time views of the pool (per-layer GEMM histograms
+  merged across every worker, cache counters, per-worker liveness);
+- :meth:`serve_metrics` exposes it all over HTTP — ``/metrics``
+  (Prometheus text), ``/metrics.json``, ``/healthz``, ``/statusz`` — from
+  a background thread, stdlib only.
 """
 
 from __future__ import annotations
@@ -26,12 +39,21 @@ import queue
 import threading
 import time
 from concurrent.futures import Future
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
-from .counters import RequestStats, ServeReport
+from .counters import RequestStats, ServeReport, WorkerStat
+from .metrics import (
+    BATCH_SIZE_BUCKETS,
+    OCCUPANCY_BUCKETS,
+    MetricsRegistry,
+    MetricsServer,
+    export_executor_stats,
+    merge_snapshots,
+)
 from .pool import WorkerPool
+from .tracing import RequestTrace, TraceBuffer
 
 __all__ = ["ServingEngine"]
 
@@ -42,6 +64,7 @@ class _Request:
     x: np.ndarray
     future: Future
     submitted_at: float
+    collected_at: float = field(default=0.0)  # when a worker pulled it off the queue
 
 
 class ServingEngine:
@@ -63,6 +86,13 @@ class ServingEngine:
         Worker threads draining the queue.  Pair ``workers=N`` with a
         pool of ``N`` workers (``make_pool(..., workers=N)``) to scale
         throughput.
+    metrics : MetricsRegistry | bool
+        ``True`` (default) creates a fresh registry; pass an existing
+        registry to share one across engines, or ``False``/``None`` to
+        disable hot-path metric recording entirely (the scrape-time pool
+        views in :meth:`metrics_snapshot` still work).
+    trace_capacity : int
+        Ring-buffer bound for per-request span traces (:meth:`traces`).
     """
 
     def __init__(
@@ -71,6 +101,8 @@ class ServingEngine:
         max_batch: int = 8,
         batch_window: float = 0.002,
         workers: int = 1,
+        metrics: "MetricsRegistry | bool | None" = True,
+        trace_capacity: int = 256,
     ) -> None:
         if max_batch <= 0:
             raise ValueError(f"max_batch must be positive, got {max_batch}")
@@ -92,6 +124,43 @@ class ServingEngine:
         self._request_stats: list[RequestStats] = []
         self._started_at = 0.0
         self._stopped_at = 0.0
+        self._traces = TraceBuffer(trace_capacity)
+        if metrics is True:
+            metrics = MetricsRegistry()
+        elif metrics is False:
+            metrics = None
+        self.metrics = metrics
+        if metrics is not None:
+            # Children resolved once here, so the hot path never pays the
+            # registry's name lookup.
+            self._m_requests = metrics.counter(
+                "tasd_serve_requests_total", "Requests served to completion"
+            ).labels()
+            self._m_samples = metrics.counter(
+                "tasd_serve_samples_total", "Samples served across all requests"
+            ).labels()
+            self._m_batches = metrics.counter(
+                "tasd_serve_batches_total", "Micro-batches dispatched"
+            ).labels()
+            self._m_errors = metrics.counter(
+                "tasd_serve_errors_total", "Requests failed with an exception"
+            ).labels()
+            self._m_latency = metrics.histogram(
+                "tasd_serve_request_latency_seconds", "End-to-end request latency"
+            ).labels()
+            self._m_queue_wait = metrics.histogram(
+                "tasd_serve_queue_wait_seconds", "Submit-to-dispatch queue wait"
+            ).labels()
+            self._m_batch_size = metrics.histogram(
+                "tasd_serve_batch_size",
+                "Requests coalesced per micro-batch",
+                buckets=BATCH_SIZE_BUCKETS,
+            ).labels()
+            self._m_occupancy = metrics.histogram(
+                "tasd_serve_batch_occupancy",
+                "Micro-batch fill fraction of max_batch",
+                buckets=OCCUPANCY_BUCKETS,
+            ).labels()
 
     # ------------------------------------------------------------------ #
     def start(self) -> "ServingEngine":
@@ -135,6 +204,7 @@ class ServingEngine:
             except queue.Empty:
                 break
             if leftover is not None:
+                leftover.collected_at = time.perf_counter()
                 self._execute_batch([leftover])
         with self._state_lock:
             self._stopped_at = time.perf_counter()
@@ -185,6 +255,7 @@ class ServingEngine:
             if req is None:  # shutdown sentinel: hand it to another worker
                 self._queue.put(None)
                 break
+            req.collected_at = time.perf_counter()
             if req.x.shape[1:] != first.x.shape[1:] or req.x.dtype != first.x.dtype:
                 # Mismatched sample shape or dtype: concatenating would
                 # reshape/upcast and change the request's exact result.
@@ -207,6 +278,7 @@ class ServingEngine:
                     continue
                 if first is None:
                     return
+                first.collected_at = time.perf_counter()
             batch, carry = self._gather_batch(first)
             self._execute_batch(batch)
 
@@ -217,15 +289,30 @@ class ServingEngine:
         try:
             outputs = self.executor.run(inputs)
         except Exception as exc:  # pragma: no cover - defensive
+            failed_at = time.perf_counter()
+            if self.metrics is not None:
+                self._m_errors.inc(len(batch))
             for req in batch:
                 req.future.set_exception(exc)
+                self._traces.record(
+                    RequestTrace.from_timestamps(
+                        request_id=req.request_id,
+                        submitted_at=req.submitted_at,
+                        collected_at=req.collected_at,
+                        dispatched_at=dispatched_at,
+                        done_at=failed_at,
+                        resolved_at=failed_at,
+                        batch_size=len(batch),
+                        samples=req.x.shape[0],
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
+                )
             return
         done_at = time.perf_counter()
         compute_time = done_at - dispatched_at
         offsets = np.cumsum([0] + sizes)
-        for req, lo, hi in zip(batch, offsets[:-1], offsets[1:]):
-            result = outputs[lo:hi]
-            stats = RequestStats(
+        batch_stats = [
+            RequestStats(
                 request_id=req.request_id,
                 batch_size=len(batch),
                 samples=req.x.shape[0],
@@ -233,17 +320,145 @@ class ServingEngine:
                 compute_time=compute_time,
                 latency=done_at - req.submitted_at,
             )
-            with self._stats_lock:
-                self._request_stats.append(stats)
-            req.future.set_result(result)
+            for req in batch
+        ]
+        # One atomic extend per micro-batch: a report() racing this never
+        # sees a half-recorded batch (some of its requests but not others).
+        with self._stats_lock:
+            self._request_stats.extend(batch_stats)
+        if self.metrics is not None:
+            self._m_batches.inc()
+            self._m_batch_size.observe(len(batch))
+            self._m_occupancy.observe(len(batch) / self.max_batch)
+            for stats in batch_stats:
+                self._m_requests.inc()
+                self._m_samples.inc(stats.samples)
+                self._m_latency.observe(stats.latency)
+                self._m_queue_wait.observe(stats.queue_time)
+        for req, lo, hi in zip(batch, offsets[:-1], offsets[1:]):
+            req.future.set_result(outputs[lo:hi])
+            self._traces.record(
+                RequestTrace.from_timestamps(
+                    request_id=req.request_id,
+                    submitted_at=req.submitted_at,
+                    collected_at=req.collected_at,
+                    dispatched_at=dispatched_at,
+                    done_at=done_at,
+                    resolved_at=time.perf_counter(),
+                    batch_size=len(batch),
+                    samples=req.x.shape[0],
+                )
+            )
 
     # ------------------------------------------------------------------ #
     def report(self) -> ServeReport:
-        """Latency/throughput report over everything served so far."""
+        """Latency/throughput report over everything served so far.
+
+        The request list is snapshotted under the stats lock (batches land
+        atomically, so a mid-batch report never sees a torn micro-batch),
+        and — when metrics are on — carries the engine's live latency
+        histogram, so ``p50``/``p95``/``p99`` are bucket-exact with what
+        ``/metrics`` exports.
+        """
         with self._state_lock:
             started, stopped = self._started_at, self._stopped_at
         end = stopped if stopped > started else time.perf_counter()
         with self._stats_lock:
             requests = list(self._request_stats)
         wall = max(0.0, end - started) if started else 0.0
-        return ServeReport(requests=requests, wall_time=wall)
+        histogram = self._m_latency.snapshot() if self.metrics is not None else None
+        return ServeReport(requests=requests, wall_time=wall, histogram=histogram)
+
+    def traces(self) -> list:
+        """Span traces of the most recent requests (oldest first, bounded)."""
+        return self._traces.snapshot()
+
+    def worker_stats(self) -> list[WorkerStat]:
+        """Per-worker liveness/served counts from the pool (empty if opaque)."""
+        fn = getattr(self.executor, "worker_stats", None)
+        return list(fn()) if fn is not None else []
+
+    def healthz(self) -> tuple[bool, dict]:
+        """Pool liveness: healthy while running with at least one live worker."""
+        workers = self.worker_stats()
+        alive = sum(1 for w in workers if w.alive)
+        ok = self._running and (alive > 0 or not workers)
+        return ok, {
+            "running": self._running,
+            "workers_alive": alive,
+            "workers_total": len(workers),
+            "queue_depth": self._queue.qsize(),
+        }
+
+    def metrics_snapshot(self) -> dict:
+        """One coherent scrape: engine registry + pool views, merged.
+
+        The engine's own histograms/counters are recorded live on the hot
+        path; everything pool-side (per-layer GEMM histograms merged across
+        all workers — processes included, via the counters they ship with
+        replies — cache counters, per-worker liveness) is assembled at
+        scrape time from :meth:`WorkerPool.stats`, so scraping costs the
+        scraper, not the serving path.
+        """
+        snaps = [self.metrics.snapshot()] if self.metrics is not None else []
+        registry = MetricsRegistry()
+        stats_fn = getattr(self.executor, "stats", None)
+        plan = getattr(self.executor, "plan", None)
+        if stats_fn is not None:
+            backends = {}
+            if plan is not None:
+                backends = {
+                    name: (lp.backend if lp.mode == "compiled" else lp.mode)
+                    for name, lp in plan.layers.items()
+                }
+            export_executor_stats(registry, stats_fn(), backends)
+        if plan is not None:
+            info = plan.cache.info()
+            registry.gauge("tasd_cache_resident", "Operand-cache entries resident").set(
+                info["resident"]
+            )
+            registry.gauge("tasd_cache_capacity", "Operand-cache capacity bound").set(
+                info["capacity"]
+            )
+        alive_g = registry.gauge(
+            "tasd_worker_alive", "1 while the pool worker is serving", labels=("worker",)
+        )
+        served_c = registry.counter(
+            "tasd_worker_requests_total", "Forwards served per pool worker", labels=("worker",)
+        )
+        for w in self.worker_stats():
+            alive_g.labels(worker=str(w.uid)).set(1.0 if w.alive else 0.0)
+            served_c.labels(worker=str(w.uid)).inc(w.requests)
+        registry.gauge("tasd_serve_queue_depth", "Requests waiting in the queue").set(
+            self._queue.qsize()
+        )
+        registry.gauge("tasd_serve_running", "1 while the engine accepts requests").set(
+            1.0 if self._running else 0.0
+        )
+        registry.gauge(
+            "tasd_serve_traces_dropped", "Traces discarded by the ring-buffer bound"
+        ).set(self._traces.dropped)
+        snaps.append(registry.snapshot())
+        return merge_snapshots(*snaps)
+
+    def statusz(self) -> str:
+        """Human-readable recent-request table plus the report summary."""
+        return self.report().summary() + "\n\n" + self._traces.table()
+
+    def serve_metrics(self, port: int = 0, host: str = "127.0.0.1") -> MetricsServer:
+        """Expose this engine's telemetry over HTTP (``/metrics``,
+        ``/metrics.json``, ``/healthz``, ``/statusz``).
+
+        ``port=0`` binds an ephemeral port (read ``server.port``).  The
+        server runs on a daemon thread and outlives ``stop()`` — a stopped
+        engine scrapes as unhealthy rather than connection-refused — so
+        callers own its lifetime (``server.close()`` or use it as a
+        context manager).
+        """
+        return MetricsServer(
+            snapshot_fn=self.metrics_snapshot,
+            health_fn=self.healthz,
+            status_fn=self.statusz,
+            host=host,
+            port=port,
+        )

@@ -2,7 +2,10 @@
 
 from __future__ import annotations
 
+import json
+import threading
 import time
+import urllib.request
 
 import numpy as np
 import pytest
@@ -11,7 +14,13 @@ from repro.core import TASDConfig
 from repro.nn.models.resnet import resnet18
 from repro.pruning.magnitude import global_magnitude_prune
 from repro.pruning.targets import gemm_layers
-from repro.runtime import PlanExecutor, ServingEngine, compile_plan
+from repro.runtime import (
+    PlanExecutor,
+    ServeReport,
+    ServingEngine,
+    compile_plan,
+    make_pool,
+)
 from repro.tasder.transform import TASDTransform
 
 CFG = TASDConfig.parse("2:4")
@@ -148,3 +157,189 @@ def test_mixed_dtype_requests_keep_exact_results(executor):
         out_a, out_b = fa.result(timeout=30.0), fb.result(timeout=30.0)
     np.testing.assert_array_equal(out_a, expect_a)
     np.testing.assert_array_equal(out_b, expect_b)
+
+
+# ---------------------------------------------------------------------- #
+# Telemetry: reports, traces, and the live HTTP endpoint
+# ---------------------------------------------------------------------- #
+def test_empty_report_is_well_defined(executor):
+    """A server that starts and stops without traffic must summarise cleanly
+    — zero everywhere, never NaN/inf from dividing by the served count."""
+    engine = ServingEngine(executor)
+    engine.start()
+    engine.stop()
+    report = engine.report()
+    assert report.count == 0 and report.samples == 0
+    assert report.mean_latency == 0.0
+    assert report.mean_batch_size == 0.0
+    assert report.throughput == 0.0
+    assert report.latency_percentile(50) == 0.0
+    assert report.p50 == report.p95 == report.p99 == 0.0
+    text = report.summary()
+    assert "0 requests" in text
+    assert "nan" not in text.lower() and "inf" not in text.lower()
+    # The bare dataclass (no engine, no histogram) is just as well-defined.
+    bare = ServeReport()
+    assert bare.p99 == 0.0 and "nan" not in bare.summary().lower()
+
+
+def test_report_percentiles_come_from_the_live_histogram(executor):
+    rng = np.random.default_rng(21)
+    with ServingEngine(executor, max_batch=2, batch_window=0.01) as engine:
+        for _ in range(6):
+            engine.infer(rng.normal(size=(1, 3, 8, 8)), timeout=60.0)
+    report = engine.report()
+    hist = report.latency_histogram()
+    assert hist.count == report.count == 6
+    assert 0.0 < report.p50 <= report.p95 <= report.p99
+    assert "p50" in report.summary() and "p99" in report.summary()
+
+
+def test_metrics_disabled_engine_still_serves_and_reports(executor):
+    rng = np.random.default_rng(22)
+    with ServingEngine(executor, max_batch=2, batch_window=0.01, metrics=False) as engine:
+        engine.infer(rng.normal(size=(1, 3, 8, 8)), timeout=60.0)
+        snap = engine.metrics_snapshot()  # pool-side views still assemble
+    report = engine.report()
+    assert report.histogram is None
+    assert report.count == 1
+    assert report.p50 > 0.0  # falls back to a histogram built from requests
+    assert "tasd_serve_requests_total" not in snap
+    assert "tasd_layer_calls_total" in snap
+    assert "tasd_worker_alive" in snap
+
+
+def test_concurrent_report_never_sees_a_torn_batch(executor):
+    """Hammer report() while batches land: every micro-batch must appear
+    atomically (all of its requests or none), never partially."""
+    rng = np.random.default_rng(23)
+    x = rng.normal(size=(1, 3, 8, 8))
+    stop = threading.Event()
+    torn: list[str] = []
+
+    def hammer(engine):
+        while not stop.is_set():
+            report = engine.report()
+            groups: dict = {}
+            for r in report.requests:
+                groups.setdefault((r.batch_size, r.compute_time), []).append(r)
+            for (batch_size, _), members in groups.items():
+                # Requests of one micro-batch share batch_size and the exact
+                # same compute_time float; a torn read shows up as a group
+                # smaller than its declared batch size.
+                if len(members) != batch_size:
+                    torn.append(f"saw {len(members)} of a {batch_size}-request batch")
+
+    with ServingEngine(executor, max_batch=4, batch_window=0.02, workers=2) as engine:
+        threads = [threading.Thread(target=hammer, args=(engine,)) for _ in range(3)]
+        for t in threads:
+            t.start()
+        futures = [engine.submit(x) for _ in range(32)]
+        for f in futures:
+            f.result(timeout=60.0)
+        stop.set()
+        for t in threads:
+            t.join()
+    assert not torn, torn[:3]
+    assert engine.report().count == 32
+
+
+def test_traces_record_the_request_timeline(executor):
+    rng = np.random.default_rng(24)
+    with ServingEngine(executor, max_batch=2, batch_window=0.01, trace_capacity=4) as engine:
+        futures = [engine.submit(rng.normal(size=(1, 3, 8, 8))) for _ in range(6)]
+        for f in futures:
+            f.result(timeout=60.0)
+    traces = engine.traces()
+    assert len(traces) == 4  # ring bound holds
+    for t in traces:
+        assert tuple(s.name for s in t.spans) == ("enqueue", "batch_form", "execute", "reply")
+        assert t.ok and t.latency > 0.0
+        assert t.span("execute").duration > 0.0
+    assert "recent requests" in engine.statusz()
+
+
+def _scrape(url: str):
+    with urllib.request.urlopen(url, timeout=10.0) as resp:
+        return resp.status, resp.read().decode()
+
+
+@pytest.mark.parametrize("pool_kind", ["thread", "process"])
+def test_live_metrics_endpoint_end_to_end(pool_kind):
+    """Serve over a real pool, scrape /metrics mid-flight, and check the
+    scrape agrees with the engine's own report."""
+    model = resnet18(num_classes=10, base_width=16)
+    global_magnitude_prune(model, 0.6)
+    transform = TASDTransform(
+        weight_configs={name: CFG for name, _ in gemm_layers(model)}
+    )
+    plan = compile_plan(model, transform)
+    rng = np.random.default_rng(25)
+    with make_pool(pool_kind, model, plan, workers=2) as pool:
+        with ServingEngine(pool, max_batch=4, batch_window=0.005, workers=2) as engine:
+            with engine.serve_metrics(port=0) as server:
+                futures = [engine.submit(rng.normal(size=(2, 3, 8, 8))) for _ in range(8)]
+                for f in futures:
+                    f.result(timeout=120.0)
+                status, text = _scrape(server.url + "/metrics")
+                assert status == 200
+                status, body = _scrape(server.url + "/metrics.json")
+                snap = json.loads(body)
+                status, body = _scrape(server.url + "/healthz")
+                health = json.loads(body)
+            report = engine.report()
+    # Prometheus text carries every family the issue promises.
+    for family in (
+        "tasd_serve_requests_total",
+        "tasd_serve_request_latency_seconds_bucket",
+        "tasd_serve_queue_wait_seconds_bucket",
+        "tasd_serve_batch_size_bucket",
+        "tasd_layer_gemm_latency_seconds_bucket",
+        "tasd_layer_calls_total",
+        "tasd_cache_hits_total",
+        "tasd_worker_alive",
+        "tasd_worker_requests_total",
+    ):
+        assert family in text, family
+    # The request-latency histogram total equals the report's served count.
+    (latency_series,) = snap["tasd_serve_request_latency_seconds"]["series"]
+    assert latency_series["count"] == report.count == 8
+    assert snap["tasd_serve_requests_total"]["series"][0]["value"] == 8.0
+    # Both pool workers are visible and were alive mid-scrape.
+    workers = {
+        s["labels"]["worker"]: s["value"]
+        for s in snap["tasd_worker_alive"]["series"]
+    }
+    assert set(workers) == {"0", "1"}
+    assert all(v == 1.0 for v in workers.values())
+    assert health["ok"] is True and health["workers_alive"] == 2
+    # Per-layer GEMM histograms merged across workers: calls recorded on
+    # every compiled layer, each histogram's count matching its call counter.
+    calls = {
+        s["labels"]["layer"]: s["value"]
+        for s in snap["tasd_layer_calls_total"]["series"]
+    }
+    gemm_counts: dict = {}
+    for s in snap["tasd_layer_gemm_latency_seconds"]["series"]:
+        layer = s["labels"]["layer"]
+        gemm_counts[layer] = gemm_counts.get(layer, 0) + s["count"]
+    for name, plan_layer in plan.layers.items():
+        if plan_layer.mode == "compiled":
+            assert gemm_counts.get(name) == calls.get(name) != None  # noqa: E711
+
+
+def test_healthz_reports_stopped_engine_unhealthy(executor):
+    engine = ServingEngine(executor)
+    with engine.serve_metrics(port=0) as server:
+        import urllib.error
+
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            _scrape(server.url + "/healthz")
+        assert exc.value.code == 503
+        engine.start()
+        status, body = _scrape(server.url + "/healthz")
+        assert status == 200 and json.loads(body)["running"] is True
+        engine.stop()
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            _scrape(server.url + "/healthz")
+        assert json.loads(exc.value.read().decode())["running"] is False

@@ -1,0 +1,121 @@
+"""Tests for the request-trace ring buffer."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.runtime.tracing import SPAN_NAMES, RequestTrace, Span, TraceBuffer
+
+
+def _trace(request_id=0, **kw):
+    return RequestTrace.from_timestamps(
+        request_id=request_id,
+        submitted_at=kw.get("submitted_at", 0.0),
+        collected_at=kw.get("collected_at", 0.001),
+        dispatched_at=kw.get("dispatched_at", 0.003),
+        done_at=kw.get("done_at", 0.013),
+        resolved_at=kw.get("resolved_at", 0.014),
+        batch_size=kw.get("batch_size", 2),
+        samples=kw.get("samples", 1),
+        error=kw.get("error"),
+    )
+
+
+def test_from_timestamps_builds_the_standard_span_set():
+    t = _trace(request_id=7)
+    assert tuple(s.name for s in t.spans) == SPAN_NAMES
+    assert t.span("enqueue").duration == pytest.approx(0.001)
+    assert t.span("batch_form").duration == pytest.approx(0.002)
+    assert t.span("execute").duration == pytest.approx(0.010)
+    assert t.span("reply").duration == pytest.approx(0.001)
+    assert t.latency == pytest.approx(0.014)
+    assert t.ok and t.request_id == 7
+    assert t.span("nonexistent") is None
+    # Spans tile the timeline: each starts where the previous ended.
+    for a, b in zip(t.spans, t.spans[1:]):
+        assert b.start == pytest.approx(a.end)
+
+
+def test_from_timestamps_clamps_out_of_order_stamps():
+    """A request served synchronously at shutdown skips stages; spans must
+    come out zero-length, never negative."""
+    t = _trace(collected_at=0.0, dispatched_at=0.0, done_at=0.005, resolved_at=0.0)
+    assert all(s.duration >= 0.0 for s in t.spans)
+    assert t.span("enqueue").duration == 0.0
+    assert t.span("reply").duration == 0.0
+    assert t.latency == pytest.approx(0.005)
+
+
+def test_error_traces_are_not_ok():
+    t = _trace(error="ValueError: bad batch")
+    assert not t.ok
+    assert t.error == "ValueError: bad batch"
+
+
+def test_ring_buffer_capacity_is_a_hard_bound():
+    buf = TraceBuffer(capacity=8)
+    for i in range(20):
+        buf.record(_trace(request_id=i))
+    assert len(buf) == 8
+    assert buf.recorded == 20
+    assert buf.dropped == 12
+    kept = [t.request_id for t in buf.snapshot()]
+    assert kept == list(range(12, 20))  # the most recent 8, oldest first
+
+
+def test_ring_buffer_rejects_nonpositive_capacity():
+    with pytest.raises(ValueError, match="capacity must be positive"):
+        TraceBuffer(capacity=0)
+
+
+def test_ring_buffer_concurrent_recorders_stay_bounded():
+    buf = TraceBuffer(capacity=16)
+    n, threads = 500, 8
+
+    def work():
+        for i in range(n):
+            buf.record(_trace(request_id=i))
+
+    ts = [threading.Thread(target=work) for _ in range(threads)]
+    for t in ts:
+        t.start()
+    for t in ts:
+        t.join()
+    assert len(buf) == 16
+    assert buf.recorded == n * threads
+
+
+def test_clear_empties_but_keeps_recorded_count():
+    buf = TraceBuffer(capacity=4)
+    buf.record(_trace())
+    buf.clear()
+    assert len(buf) == 0
+    assert buf.recorded == 1
+
+
+def test_table_renders_recent_first_with_error_status():
+    buf = TraceBuffer(capacity=4)
+    buf.record(_trace(request_id=1))
+    buf.record(_trace(request_id=2, error="boom"))
+    body = buf.table()
+    lines = body.splitlines()
+    assert "2 recorded" in lines[0]
+    data = [line for line in lines if line.lstrip().startswith(("1", "2"))]
+    assert data[0].lstrip().startswith("2")  # newest first
+    assert data[0].rstrip().endswith("boom")
+    assert data[1].rstrip().endswith("ok")
+
+
+def test_table_limit_caps_rows():
+    buf = TraceBuffer(capacity=64)
+    for i in range(40):
+        buf.record(_trace(request_id=i))
+    body = buf.table(limit=5)
+    assert "showing 5 of 40 retained" in body
+
+
+def test_span_end_property():
+    s = Span("execute", start=1.5, duration=0.25)
+    assert s.end == pytest.approx(1.75)
