@@ -23,6 +23,10 @@ autotune, with identical backend choices and bit-identical served outputs.
 the metrics registry and request tracing enabled must stay within 5 % of
 the uninstrumented engine's throughput, and it writes the repo's
 ``BENCH_runtime.json`` trajectory point (throughput, p50/p95/p99).
+
+``test_runtime_supervision_overhead`` fences the fault-tolerance layer
+the same way: a supervised process pool (respawn + health pings on) must
+serve within 5 % of the same pool with supervision disabled.
 """
 
 from __future__ import annotations
@@ -368,6 +372,65 @@ def test_runtime_metrics_overhead(serving_setup):
     assert on > 0 and off > 0
     assert overhead <= 0.05, (
         f"metrics-enabled serving {overhead * 100.0:.1f}% slower than disabled "
+        f"(fence: 5%)"
+    )
+
+
+def test_runtime_supervision_overhead(serving_setup):
+    """Acceptance fence: supervised serving within 5 % of unsupervised.
+
+    The fault-tolerance layer must be free when nothing faults: the
+    supervisor thread sleeps between health ticks, pings only idle
+    workers, and the request path adds one liveness branch — so a
+    process pool with respawn + health checks on must serve within 5 %
+    of the same pool with supervision disabled.  Same machine, same
+    workload, interleaved best-of rounds (a cross-machine comparison
+    against the committed ``BENCH_runtime.json`` absolute numbers would
+    fence the hardware, not the code — the baseline is printed for the
+    trajectory instead).
+    """
+    model, transform, x = serving_setup
+    plan = compile_plan(model, transform, autotune=True, autotune_repeats=2)
+    requests = 32
+
+    def serve_round(supervised: bool) -> float:
+        kwargs = (
+            dict(respawn=True)
+            if supervised
+            else dict(respawn=False, health_interval=0.0)
+        )
+        with ProcessWorkerPool(model, plan, workers=2, **kwargs) as executor:
+            executor.install()  # workers forked outside the measured window
+            with ServingEngine(
+                executor, max_batch=2, batch_window=0.0, workers=2
+            ) as engine:
+                futures = [engine.submit(x[:1]) for _ in range(requests)]
+                for f in futures:
+                    f.result(timeout=120.0)
+        report = engine.report()
+        assert report.count == requests
+        return report.throughput
+
+    serve_round(True)  # warm caches/fork paths outside the measurement
+    supervised, unsupervised = [], []
+    for _ in range(5):  # interleaved so drift hits both configs alike
+        unsupervised.append(serve_round(False))
+        supervised.append(serve_round(True))
+    on, off = max(supervised), max(unsupervised)
+    overhead = 1.0 - on / off
+    baseline = Path(__file__).resolve().parents[1] / "BENCH_runtime.json"
+    baseline_note = ""
+    if baseline.exists():
+        recorded = json.loads(baseline.read_text()).get("throughput_rps")
+        if recorded:
+            baseline_note = f"; BENCH_runtime.json baseline {recorded:.1f} req/s"
+    print(
+        f"\nprocess-pool serving: unsupervised {off:.1f} req/s, supervised "
+        f"{on:.1f} req/s -> {overhead * 100.0:+.1f}% overhead{baseline_note}"
+    )
+    assert on > 0 and off > 0
+    assert overhead <= 0.05, (
+        f"supervised serving {overhead * 100.0:.1f}% slower than unsupervised "
         f"(fence: 5%)"
     )
 

@@ -15,6 +15,8 @@ Usage::
     python -m repro.cli serve --pool process --workers 4    # past the GIL
     python -m repro.cli serve --autotune --tune-observed    # tune on real shapes
     python -m repro.cli serve --metrics-port 9100           # live /metrics scrape
+    python -m repro.cli serve --pool process --max-queue 64 --request-timeout 30 \
+        --max-retries 2 --no-respawn                        # fault-tolerance knobs
     python -m repro.cli compile --metrics-json plan_metrics.json
 
 Compiled plans persist across restarts: ``compile --autotune --save-plan
@@ -225,6 +227,12 @@ def _serve(args: argparse.Namespace) -> str:
     workers = args.workers if args.workers is not None else args.replicas
     if workers <= 0:
         raise SystemExit(f"--workers must be positive, got {workers}")
+    if args.max_queue is not None and args.max_queue <= 0:
+        raise SystemExit(f"--max-queue must be positive, got {args.max_queue}")
+    if args.max_retries < 0:
+        raise SystemExit(f"--max-retries must be >= 0, got {args.max_retries}")
+    if args.request_timeout is not None and args.request_timeout <= 0:
+        raise SystemExit(f"--request-timeout must be positive, got {args.request_timeout}")
     model, transform = _runtime_model(args)
     plan = _plan_for(args, model, transform)
     rng = np.random.default_rng(0)
@@ -242,11 +250,23 @@ def _serve(args: argparse.Namespace) -> str:
     if args.pool == "thread" and workers == 1:
         executor_cm = PlanExecutor(model, plan)  # the degenerate one-worker pool
     else:
-        executor_cm = make_pool(args.pool, model, plan, workers=workers)
+        pool_kwargs = {}
+        if args.pool == "process":
+            # Supervision knobs only exist on the process pool (thread
+            # workers share the parent and cannot die independently).
+            pool_kwargs["respawn"] = args.respawn
+            if args.request_timeout is not None:
+                pool_kwargs["request_timeout"] = args.request_timeout
+        executor_cm = make_pool(args.pool, model, plan, workers=workers, **pool_kwargs)
     metrics_note = None
     with executor_cm as executor:
         with ServingEngine(
-            executor, max_batch=args.max_batch, batch_window=args.window, workers=workers
+            executor,
+            max_batch=args.max_batch,
+            batch_window=args.window,
+            workers=workers,
+            max_queue=args.max_queue,
+            max_retries=args.max_retries,
         ) as engine:
             server = (
                 engine.serve_metrics(port=args.metrics_port)
@@ -406,6 +426,37 @@ def main(argv: list[str] | None = None) -> int:
         metavar="PATH",
         help="write the compiled plan's metrics snapshot (layer nnz, backend "
         "choices, cache occupancy) as JSON (compile)",
+    )
+    parser.add_argument(
+        "--max-queue",
+        type=int,
+        default=None,
+        metavar="N",
+        help="admission bound: reject submits once N requests wait in the "
+        "queue instead of growing it without bound (serve)",
+    )
+    parser.add_argument(
+        "--request-timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="seconds a process-pool worker may hold one dispatch before it "
+        "is declared hung and retired (serve, --pool process)",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="retries per micro-batch after a worker crash before the batch "
+        "is split to isolate a poison request (serve)",
+    )
+    parser.add_argument(
+        "--respawn",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="supervise process-pool workers and respawn dead ones from the "
+        "shared plan segment (serve, --pool process)",
     )
     parser.add_argument(
         "--plan",

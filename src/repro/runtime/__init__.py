@@ -48,6 +48,15 @@ histograms plus per-request traces in a bounded ring, and
 ``engine.serve_metrics(port=9100)`` exposes it all over HTTP —
 ``/metrics`` (Prometheus text), ``/metrics.json``, ``/healthz``, and a
 human-readable ``/statusz`` — using only the stdlib HTTP server.
+
+And it is fault-tolerant: a supervisor inside :class:`ProcessWorkerPool`
+health-checks its workers and respawns dead ones from the already-shared
+plan segment (capped backoff, crash-loop circuit breaker), the engine
+retries micro-batches whose worker died — splitting them to isolate
+poison inputs — enforces per-request deadlines and a bounded admission
+queue, and degrades onto an in-process :class:`PlanExecutor` when the
+pool collapses.  :mod:`repro.runtime.chaos` injects all of those faults
+on purpose (kill/hang/slow/poison/crash-on-Nth) for tests and drills.
 """
 
 from .autotune import AutotuneResult, autotune_operand, retune_plan
@@ -96,23 +105,30 @@ from .planio import (
     save_plan,
     share_plan,
 )
+from .chaos import ChaosMonkey, ChaosSpec, is_poisoned, poison_batch
 from .pool import (
     POOL_KINDS,
+    PoolDegradedError,
     ProcessWorkerPool,
+    RemoteTraceback,
     ThreadWorkerPool,
+    WorkerCrashError,
     WorkerPool,
     make_pool,
 )
 from .replica import ReplicaExecutor
-from .serve import ServingEngine
+from .serve import DeadlineExceeded, QueueFull, ServingEngine
 from .tracing import RequestTrace, Span, TraceBuffer
 
 __all__ = [
     "AutotuneResult",
     "CacheCounters",
+    "ChaosMonkey",
+    "ChaosSpec",
     "CompiledOperand",
     "Counter",
     "DEFAULT_BACKEND",
+    "DeadlineExceeded",
     "ExecutionPlan",
     "ExecutorStats",
     "Gauge",
@@ -128,7 +144,10 @@ __all__ = [
     "PlanDigestError",
     "PlanExecutor",
     "PlanFormatError",
+    "PoolDegradedError",
     "ProcessWorkerPool",
+    "QueueFull",
+    "RemoteTraceback",
     "ReplicaExecutor",
     "RequestStats",
     "RequestTrace",
@@ -139,6 +158,7 @@ __all__ = [
     "Span",
     "ThreadWorkerPool",
     "TraceBuffer",
+    "WorkerCrashError",
     "WorkerPool",
     "WorkerStat",
     "attach_plan",
@@ -148,10 +168,12 @@ __all__ = [
     "exact_backend_names",
     "export_executor_stats",
     "get_backend",
+    "is_poisoned",
     "load_plan",
     "make_pool",
     "merge_snapshots",
     "model_fingerprint",
+    "poison_batch",
     "register_backend",
     "render_prometheus",
     "retune_plan",

@@ -201,6 +201,7 @@ class RequestStats:
     queue_time: float  # seconds from submit to batch dispatch
     compute_time: float  # seconds of model execution for the micro-batch
     latency: float  # seconds from submit to result
+    attempts: int = 1  # dispatch attempts; > 1 means crash-recovery retries
 
     def __str__(self) -> str:
         return (

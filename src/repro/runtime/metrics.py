@@ -539,7 +539,10 @@ class MetricsServer:
     - ``snapshot_fn() -> dict`` backs ``/metrics`` (Prometheus text) and
       ``/metrics.json`` (the raw snapshot);
     - ``health_fn() -> (bool, dict)`` backs ``/healthz`` (200 when
-      healthy, 503 otherwise, detail as JSON);
+      healthy, 503 otherwise, detail as JSON).  Degradation is conveyed
+      200-with-status: a degraded-but-serving engine returns ``ok`` with
+      ``{"status": "degraded"}`` in the detail, reserving 503 for
+      ``"dead"`` — stopped, or collapsed with nothing to serve through;
     - ``status_fn() -> str`` backs ``/statusz`` (the recent-request trace
       table).
 

@@ -28,11 +28,23 @@ so everything the engine accepts is a :class:`WorkerPool` — pick with
 Both pools merge per-worker layer counters into one :meth:`stats` view and
 produce **bit-identical** outputs: thread replicas alias the same arrays,
 and process workers run the same kernels over byte-equal shared operands.
+
+The process pool is *supervised*: a background supervisor thread detects
+dead workers (pipe errors on a request, plus a periodic health-check ping
+of idle workers) and respawns replacements from the already-shared plan
+segment, with capped exponential backoff and a crash-loop circuit breaker
+(too many respawns inside a sliding window stops respawning and marks the
+pool :attr:`~ProcessWorkerPool.degraded`).  A worker death mid-request
+raises the *retryable* :class:`WorkerCrashError` — the serving engine
+re-dispatches the batch on a surviving or respawned worker — and a pool
+that can no longer serve raises :class:`PoolDegradedError`, the engine's
+signal to fall back to in-process execution.
 """
 
 from __future__ import annotations
 
 import abc
+import collections
 import copy
 import dataclasses
 import itertools
@@ -41,6 +53,7 @@ import pickle
 import queue
 import threading
 import time
+import traceback
 
 import numpy as np
 
@@ -52,11 +65,46 @@ from .plan import ExecutionPlan, LayerPlan
 
 __all__ = [
     "POOL_KINDS",
+    "RemoteTraceback",
+    "WorkerCrashError",
+    "PoolDegradedError",
     "WorkerPool",
     "ThreadWorkerPool",
     "ProcessWorkerPool",
     "make_pool",
 ]
+
+
+class RemoteTraceback(Exception):
+    """Carrier for a worker-side traceback, chained as ``__cause__``.
+
+    A child process's stack does not survive pickling an exception across
+    the pipe; the worker formats it and the parent chains it under the
+    re-raised exception, so serving failures keep the frame that actually
+    raised (the same trick ``multiprocessing.pool`` uses).
+    """
+
+    def __init__(self, tb: str) -> None:
+        super().__init__(tb)
+        self.tb = tb
+
+    def __str__(self) -> str:
+        return "\n" + self.tb
+
+
+class WorkerCrashError(RuntimeError):
+    """A pool worker died (or wedged) with a request in flight.
+
+    Retryable: the input never produced an output, so re-dispatching the
+    same batch on another worker yields the result the dead worker owed —
+    bit-identical, since every worker serves byte-equal operands.
+    """
+
+
+class PoolDegradedError(RuntimeError):
+    """The pool cannot serve: every worker is gone and respawn is off or
+    the crash-loop circuit breaker is open.  The serving engine treats
+    this as the signal to degrade to in-process execution."""
 
 
 class WorkerPool(abc.ABC):
@@ -248,14 +296,16 @@ class ThreadWorkerPool(WorkerPool):
         forward runs, so up to ``workers`` calls proceed concurrently.
         """
         x = np.asarray(x)
-        # install() then checkout, retrying on a timeout: a close() racing
-        # this call can drain the pool after our install() check, and a
-        # plain blocking get() would then hang forever.  On retry the
-        # install() is what refills the pool (lazy reinstall-after-close).
+        # install() then checkout with one blocking wait per liveness
+        # re-check: a close() racing this call can drain the pool after our
+        # install() check, and a plain blocking get() would then hang
+        # forever.  On wakeup the install() is what refills the pool (lazy
+        # reinstall-after-close); a generous timeout keeps the idle path
+        # from busy-spinning through install()'s state lock.
         while True:
             self.install()
             try:
-                replica = self._pool.get(timeout=0.05)
+                replica = self._pool.get(timeout=0.5)
                 break
             except queue.Empty:
                 continue
@@ -326,7 +376,7 @@ class ThreadWorkerPool(WorkerPool):
 # ---------------------------------------------------------------------- #
 # Process pool: one worker process per worker, shared-memory operands
 # ---------------------------------------------------------------------- #
-def _pool_worker_main(conn, model_payload: bytes, spec: dict) -> None:
+def _pool_worker_main(conn, model_payload: bytes, spec: dict, chaos=None) -> None:
     """Entry point of one pool worker process.
 
     Rebuilds the model from its pickle, attaches the shared plan spec
@@ -334,11 +384,19 @@ def _pool_worker_main(conn, model_payload: bytes, spec: dict) -> None:
     plan, and serves ``("run", batch)`` requests over the pipe until told
     to stop.  Every ``run`` reply carries the worker's cumulative
     per-layer counters so the parent can merge :meth:`stats` without an
-    extra round-trip.
+    extra round-trip.  ``("ping", None)`` answers ``("ok", None)`` — the
+    supervisor's idle health check.
+
+    ``chaos`` (a :class:`~repro.runtime.chaos.ChaosSpec`) injects
+    deterministic faults — crash/hang/slow at exact request counts — for
+    the fault-tolerance tests and the chaos-smoke job; without it this
+    loop is fault-free.
     """
     from .cache import OperandCache
     from .planio import attach_plan
 
+    if chaos is not None:
+        chaos.on_start()
     store = None
     try:
         model = pickle.loads(model_payload)
@@ -353,6 +411,7 @@ def _pool_worker_main(conn, model_payload: bytes, spec: dict) -> None:
                 store.close()
             conn.close()
         return
+    served = 0
     try:
         conn.send(("ready", None))
         while True:
@@ -362,6 +421,9 @@ def _pool_worker_main(conn, model_payload: bytes, spec: dict) -> None:
                 break
             if cmd == "run":
                 try:
+                    served += 1
+                    if chaos is not None:
+                        chaos.on_request(served, payload)
                     t0 = time.perf_counter()
                     y = model(payload)
                     elapsed = time.perf_counter() - t0
@@ -370,10 +432,13 @@ def _pool_worker_main(conn, model_payload: bytes, spec: dict) -> None:
                     }
                     conn.send(("ok", (y, elapsed, counters)))
                 except Exception as exc:
+                    tb = traceback.format_exc()
                     try:
-                        conn.send(("err", exc))
+                        conn.send(("err", (exc, tb)))
                     except Exception:  # unpicklable exception object
-                        conn.send(("err", RuntimeError(f"{type(exc).__name__}: {exc}")))
+                        conn.send(("err", (RuntimeError(f"{type(exc).__name__}: {exc}"), tb)))
+            elif cmd == "ping":
+                conn.send(("ok", None))
             elif cmd == "reset":
                 plan.reset_counters()
                 conn.send(("ok", None))
@@ -389,6 +454,10 @@ def _pool_worker_main(conn, model_payload: bytes, spec: dict) -> None:
         if store is not None:
             store.close()
         conn.close()
+
+
+class _WorkerTimeout(Exception):
+    """Internal marker: a worker missed its request-reply deadline."""
 
 
 @dataclasses.dataclass
@@ -418,6 +487,23 @@ class ProcessWorkerPool(WorkerPool):
     back to ``spawn``.  Choose ``spawn`` explicitly when forking a
     multi-threaded parent is a concern — workers rebuild everything from
     the pickled model + shared spec either way, so behaviour is identical.
+
+    **Supervision.**  With ``respawn=True`` (the default) a supervisor
+    thread watches the pool: a worker that dies — detected by a pipe
+    error on a request, by missing a reply within ``request_timeout``,
+    or by failing the periodic idle health-check ping — is retired and a
+    replacement is respawned from the *already-shared* plan segment and
+    pickled model (no recompression, no re-export).  Respawns back off
+    exponentially (``respawn_backoff`` doubling up to ``backoff_cap``)
+    while deaths keep coming, and a crash-loop circuit breaker stops
+    respawning entirely after ``max_respawns`` respawns inside a sliding
+    ``respawn_window`` seconds — the pool is then :attr:`degraded` and
+    :meth:`run` raises :class:`PoolDegradedError` instead of hammering
+    a poisoned configuration.  A request in flight on a dying worker
+    raises :class:`WorkerCrashError` (retryable; the serving engine
+    re-dispatches).  With ``respawn=False`` a dead worker is retired
+    permanently — the pre-supervision behaviour — and a fully-dead pool
+    raises :class:`PoolDegradedError`.
     """
 
     def __init__(
@@ -427,9 +513,21 @@ class ProcessWorkerPool(WorkerPool):
         workers: int = 2,
         mp_context: str | None = None,
         start_timeout: float = 120.0,
+        respawn: bool = True,
+        max_respawns: int = 6,
+        respawn_window: float = 30.0,
+        respawn_backoff: float = 0.05,
+        backoff_cap: float = 5.0,
+        health_interval: float = 0.5,
+        request_timeout: float | None = None,
+        chaos=None,
     ) -> None:
         if workers <= 0:
             raise ValueError(f"workers must be positive, got {workers}")
+        if max_respawns <= 0:
+            raise ValueError(f"max_respawns must be positive, got {max_respawns}")
+        if request_timeout is not None and request_timeout <= 0:
+            raise ValueError(f"request_timeout must be positive, got {request_timeout}")
         methods = multiprocessing.get_all_start_methods()
         if mp_context is None:
             mp_context = "fork" if "fork" in methods else "spawn"
@@ -442,10 +540,20 @@ class ProcessWorkerPool(WorkerPool):
         self.plan = plan
         self.workers = workers
         self.mp_context = mp_context
+        self.respawn = respawn
+        self.max_respawns = max_respawns
+        self.respawn_window = respawn_window
+        self.respawn_backoff = respawn_backoff
+        self.backoff_cap = backoff_cap
+        self.health_interval = health_interval
+        self.request_timeout = request_timeout
+        self.chaos = chaos
         self._ctx = multiprocessing.get_context(mp_context)
         self._start_timeout = start_timeout
         self._free: "queue.Queue[_ProcWorker]" = queue.Queue()
         self._store = None
+        self._spec: dict | None = None  # shared-plan spec, reused by respawns
+        self._payload: bytes | None = None  # pickled model, reused by respawns
         self._installed = False
         self._state_lock = threading.Lock()
         self._stats_lock = threading.Lock()
@@ -462,8 +570,70 @@ class ProcessWorkerPool(WorkerPool):
         # across close() too, so a scrape can still see retired workers.
         self._worker_alive: dict[int, bool] = {}
         self._worker_requests: dict[int, int] = {}
+        # Live workers of the current generation, uid -> handle (busy ones
+        # included — they are checked out of the free queue but not gone).
+        self._procs: dict[int, _ProcWorker] = {}
+        # Supervision state.  respawns/deaths are cumulative (telemetry
+        # counters); _respawn_times is the breaker's sliding window.
+        self._supervisor: threading.Thread | None = None
+        self._closing = threading.Event()  # also stops the supervisor
+        self._wake = threading.Event()  # a death wants prompt supervision
+        self._respawn_times: collections.deque[float] = collections.deque()
+        self._breaker_open = False
+        self._backoff = respawn_backoff
+        self._next_respawn_at = 0.0  # monotonic time the backoff gate opens
+        self.respawns = 0
+        self.deaths = 0
 
     # ------------------------------------------------------------------ #
+    def _start_worker(self) -> _ProcWorker:
+        """Fork/spawn one worker and complete its ready handshake.
+
+        Reuses the already-shared plan segment (``self._spec``) and the
+        already-pickled model, so a respawn costs one process start — not
+        a re-export of the compiled plan.
+        """
+        parent_conn, child_conn = self._ctx.Pipe()
+        proc = self._ctx.Process(
+            target=_pool_worker_main,
+            args=(child_conn, self._payload, self._spec, self.chaos),
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()  # child's end lives in the child only
+        worker = _ProcWorker(next(self._uids), proc, parent_conn)
+        try:
+            if not worker.conn.poll(self._start_timeout):
+                raise RuntimeError(
+                    f"pool worker pid {proc.pid} did not report "
+                    f"ready within {self._start_timeout}s"
+                )
+            try:
+                tag, detail = worker.conn.recv()
+            except EOFError:
+                raise RuntimeError(
+                    f"pool worker pid {proc.pid} died during startup"
+                ) from None
+            if tag != "ready":
+                raise RuntimeError(f"pool worker failed to start: {detail}")
+        except Exception:
+            # Never leak the child: a failed start reaps it before raising.
+            if proc.is_alive():
+                proc.terminate()
+            proc.join(timeout=5.0)
+            worker.conn.close()
+            raise
+        return worker
+
+    def _enroll(self, worker: _ProcWorker) -> None:
+        """Register a started worker: stats, liveness, the free queue."""
+        with self._stats_lock:
+            self._live += 1
+            self._worker_alive[worker.uid] = True
+            self._worker_requests.setdefault(worker.uid, 0)
+            self._procs[worker.uid] = worker
+        self._free.put(worker)
+
     def install(self) -> "ProcessWorkerPool":
         with self._state_lock:
             if self._installed:
@@ -471,28 +641,14 @@ class ProcessWorkerPool(WorkerPool):
             from .planio import share_plan
 
             store, spec = share_plan(self.plan)
-            payload = pickle.dumps(self.model, protocol=pickle.HIGHEST_PROTOCOL)
+            self._store = store
+            self._spec = spec
+            if self._payload is None:
+                self._payload = pickle.dumps(self.model, protocol=pickle.HIGHEST_PROTOCOL)
             started: list[_ProcWorker] = []
             try:
                 for _ in range(self.workers):
-                    parent_conn, child_conn = self._ctx.Pipe()
-                    proc = self._ctx.Process(
-                        target=_pool_worker_main,
-                        args=(child_conn, payload, spec),
-                        daemon=True,
-                    )
-                    proc.start()
-                    child_conn.close()  # child's end lives in the child only
-                    started.append(_ProcWorker(next(self._uids), proc, parent_conn))
-                for worker in started:  # handshake: fail fast, with the cause
-                    if not worker.conn.poll(self._start_timeout):
-                        raise RuntimeError(
-                            f"pool worker pid {worker.process.pid} did not report "
-                            f"ready within {self._start_timeout}s"
-                        )
-                    tag, detail = worker.conn.recv()
-                    if tag != "ready":
-                        raise RuntimeError(f"pool worker failed to start: {detail}")
+                    started.append(self._start_worker())
             except Exception:
                 for worker in started:
                     if worker.process.is_alive():
@@ -501,17 +657,151 @@ class ProcessWorkerPool(WorkerPool):
                     worker.conn.close()
                 if store is not None:
                     store.unlink()
+                self._store = None
                 raise
-            self._store = store
             for worker in started:
-                self._free.put(worker)
-            with self._stats_lock:
-                self._live = len(started)
-                for worker in started:
-                    self._worker_alive[worker.uid] = True
-                    self._worker_requests.setdefault(worker.uid, 0)
+                self._enroll(worker)
+            # Fresh generation, fresh breaker: the crash history of a closed
+            # generation should not pre-trip the new one.
+            self._respawn_times.clear()
+            self._breaker_open = False
+            self._backoff = self.respawn_backoff
+            self._next_respawn_at = 0.0
             self._installed = True
+            self._closing.clear()
+            self._wake.clear()
+            if self.respawn or self.health_interval > 0:
+                self._supervisor = threading.Thread(
+                    target=self._supervise, name="pool-supervisor", daemon=True
+                )
+                self._supervisor.start()
         return self
+
+    # ------------------------------------------------------------------ #
+    # Supervision: death bookkeeping, health checks, respawn
+    # ------------------------------------------------------------------ #
+    def _retire(self, worker: _ProcWorker) -> None:
+        """Take a dead/wedged worker out of service and reap its process.
+
+        Idempotent per worker (guarded by the liveness map): the request
+        path and the supervisor can both conclude a worker is gone.
+        """
+        with self._stats_lock:
+            if not self._worker_alive.get(worker.uid, False):
+                return  # already retired by the other detector
+            self._worker_alive[worker.uid] = False
+            self._live -= 1
+            self.deaths += 1
+            self._procs.pop(worker.uid, None)
+        worker.conn.close()
+        if worker.process.is_alive():
+            worker.process.terminate()
+        # Reap it: a retired worker never reaches close()'s join, and a
+        # long-lived server accumulating zombies exhausts the process table.
+        worker.process.join(timeout=5.0)
+        self._wake.set()  # the supervisor should notice the deficit now
+
+    @property
+    def degraded(self) -> bool:
+        """True when the pool cannot return to service on its own: the
+        crash-loop breaker is open, or every worker is dead with respawn
+        disabled.  The serving engine's cue to fall back in-process."""
+        with self._stats_lock:
+            if self._breaker_open:
+                return True
+            return self._live == 0 and self._installed and not self.respawn
+
+    def worker_pids(self) -> list[int]:
+        """PIDs of currently-live workers, idle *and* busy (chaos fodder)."""
+        with self._stats_lock:
+            return [w.process.pid for w in self._procs.values()]
+
+    def _breaker_check(self, now: float) -> bool:
+        """Record one respawn attempt; True if the breaker just tripped."""
+        self._respawn_times.append(now)
+        while self._respawn_times and now - self._respawn_times[0] > self.respawn_window:
+            self._respawn_times.popleft()
+        if len(self._respawn_times) > self.max_respawns:
+            self._breaker_open = True
+            return True
+        return False
+
+    def _health_check(self) -> None:
+        """Ping idle workers; retire any that died quietly or wedged.
+
+        Only workers sitting in the free queue are pinged — a busy worker
+        is being watched by the run() that checked it out.  An idle worker
+        answers a ping in microseconds, so a short deadline is fair.
+        """
+        idle: list[_ProcWorker] = []
+        while True:
+            try:
+                idle.append(self._free.get_nowait())
+            except queue.Empty:
+                break
+        for worker in idle:
+            healthy = False
+            try:
+                worker.conn.send(("ping", None))
+                if worker.conn.poll(2.0):
+                    tag, _ = worker.conn.recv()
+                    healthy = tag == "ok"
+            except (BrokenPipeError, EOFError, OSError):
+                healthy = False
+            if healthy:
+                self._free.put(worker)
+            else:
+                self._retire(worker)
+
+    def _respawn_deficit(self) -> None:
+        """Bring the pool back toward its configured size, gated by the
+        exponential backoff and the crash-loop circuit breaker."""
+        now = time.monotonic()
+        if self._breaker_open or now < self._next_respawn_at:
+            return
+        with self._stats_lock:
+            deficit = self.workers - self._live
+        if deficit <= 0:
+            # Full strength: relax the backoff so the next incident starts
+            # from the fast end again.
+            self._backoff = self.respawn_backoff
+            return
+        for _ in range(deficit):
+            now = time.monotonic()
+            if self._breaker_check(now):
+                return
+            try:
+                worker = self._start_worker()
+            except Exception:
+                # A failed respawn is a crash-loop signal too: back off
+                # harder and try again at the next supervision tick.
+                self._backoff = min(self._backoff * 2.0, self.backoff_cap)
+                self._next_respawn_at = time.monotonic() + self._backoff
+                return
+            self._enroll(worker)
+            with self._stats_lock:
+                self.respawns += 1
+            self._backoff = min(self._backoff * 2.0, self.backoff_cap)
+            self._next_respawn_at = time.monotonic() + self._backoff
+
+    def _supervise(self) -> None:
+        """Supervisor thread: health-check idle workers, respawn the dead.
+
+        Runs until close() signals ``_closing``; a death in the request
+        path sets ``_wake`` so the deficit is noticed without waiting out
+        the full interval.
+        """
+        interval = self.health_interval if self.health_interval > 0 else 0.5
+        while not self._closing.is_set():
+            woken = self._wake.wait(interval)
+            if self._closing.is_set():
+                return
+            if woken:
+                self._wake.clear()
+            if self.health_interval > 0 and not woken:
+                self._health_check()
+            if self.respawn:
+                self._respawn_deficit()
 
     def close(self) -> None:
         """Stop every worker process and destroy the shared segment.
@@ -522,6 +812,15 @@ class ProcessWorkerPool(WorkerPool):
         whose counters merge on top — the same post-close contract as the
         thread pool.
         """
+        # Stop the supervisor before taking the state lock: it must not
+        # respawn (or hold workers out for pings) while teardown collects
+        # the live set, and joining it under the lock could deadlock.
+        self._closing.set()
+        self._wake.set()
+        supervisor = self._supervisor
+        if supervisor is not None:
+            supervisor.join(timeout=10.0)
+            self._supervisor = None
         with self._state_lock:
             if not self._installed:
                 return
@@ -559,51 +858,69 @@ class ProcessWorkerPool(WorkerPool):
                 self._live = 0
                 for worker in collected:
                     self._worker_alive[worker.uid] = False
+                self._procs.clear()
             self._installed = False
 
     # ------------------------------------------------------------------ #
     def run(self, x: np.ndarray) -> np.ndarray:
-        """One timed forward on whichever worker process frees first."""
+        """One timed forward on whichever worker process frees first.
+
+        Raises :class:`WorkerCrashError` (retryable) when the worker dies
+        or misses ``request_timeout`` with this request in flight, and
+        :class:`PoolDegradedError` when the pool as a whole cannot serve
+        (breaker open, or all workers dead with respawn off).
+        """
         x = np.asarray(x)
         while True:
             self.install()
-            with self._stats_lock:
-                live = self._live
-            if live == 0 and self._installed:
-                # Every worker died mid-generation; reinstalling on top of
-                # a broken generation would mask the failure.
-                raise RuntimeError(
-                    "all process-pool workers have died; close() and re-run"
+            if self.degraded:
+                # The supervisor has given up (or was never allowed to
+                # start): waiting on the free queue would hang forever.
+                raise PoolDegradedError(
+                    "all process-pool workers have died and the pool cannot "
+                    "respawn (respawn disabled or circuit breaker open); "
+                    "close() and re-run, or serve through a fallback executor"
                 )
             try:
-                worker = self._free.get(timeout=0.05)
+                # One blocking wait per liveness check — a dead pool wakes
+                # this up via the timeout, a respawn wakes it via put().
+                worker = self._free.get(timeout=0.5)
                 break
             except queue.Empty:
-                continue
+                continue  # re-check degraded/installed only on wakeup
+        pid = worker.process.pid
         healthy = False
         try:
             worker.conn.send(("run", x))
+            if self.request_timeout is not None:
+                if not worker.conn.poll(self.request_timeout):
+                    # Wedged worker: no reply within the budget.  Kill it —
+                    # its eventual reply (if any) can never be trusted to
+                    # pair with the right request again.
+                    raise _WorkerTimeout()
             tag, payload = worker.conn.recv()
             healthy = True
-        except (EOFError, BrokenPipeError, OSError) as exc:
-            with self._stats_lock:
-                self._live -= 1  # retired: never returns to the free queue
-                self._worker_alive[worker.uid] = False
-            worker.conn.close()
-            if worker.process.is_alive():  # pragma: no cover - pipe-only failure
-                worker.process.terminate()
-            # Reap it: a retired worker never reaches close()'s join, and a
-            # long-lived server accumulating zombies exhausts the process
-            # table.
-            worker.process.join(timeout=5.0)
-            raise RuntimeError(
-                f"process-pool worker pid {worker.process.pid} died mid-request"
-            ) from exc
+        except (EOFError, BrokenPipeError, OSError, _WorkerTimeout) as exc:
+            self._retire(worker)
+            reason = (
+                f"missed its {self.request_timeout}s reply deadline"
+                if isinstance(exc, _WorkerTimeout)
+                else "died"
+            )
+            cause = None if isinstance(exc, _WorkerTimeout) else exc
+            raise WorkerCrashError(
+                f"process-pool worker pid {pid} {reason} mid-request"
+            ) from cause
         finally:
             if healthy:
                 self._free.put(worker)
         if tag == "err":
-            raise payload
+            exc, tb = payload if isinstance(payload, tuple) else (payload, None)
+            if tb is not None:
+                # Chain the child's formatted stack so the failure is
+                # debuggable from the parent (satellite: remote tracebacks).
+                exc.__cause__ = RemoteTraceback(tb)
+            raise exc
         y, elapsed, counters = payload
         with self._stats_lock:
             self._batches += 1

@@ -8,6 +8,12 @@ plan shared, per-replica counters merged — and a process implementation
 (:class:`~repro.runtime.pool.ProcessWorkerPool`) scales past the GIL with
 shared-memory operands.  ``ReplicaExecutor`` remains as the established
 name for the thread pool, keeping its ``replicas=`` vocabulary.
+
+Thread replicas share the parent process, so the process pool's
+supervision machinery (health pings, respawn, circuit breaker) does not
+apply here: a replica cannot die independently of the server.  The
+serving engine's request-level recovery — retries, deadlines, admission
+control — works unchanged on top of this pool.
 """
 
 from __future__ import annotations

@@ -18,6 +18,15 @@ Micro-batching preserves results exactly: the model is batch-linear (every
 layer treats the leading axis as independent samples), so serving a request
 inside a micro-batch returns the same values as serving it alone.
 
+The engine is *fault-tolerant*: a micro-batch whose pool worker dies
+mid-request is transparently retried (bounded attempts, then split in
+half to isolate a poison request from its batchmates), per-request
+deadlines drop expired work before dispatch (:class:`DeadlineExceeded`),
+``max_queue`` sheds load at the door (:class:`QueueFull`), and a process
+pool that collapses past its crash-loop circuit breaker degrades the
+engine onto an in-process :class:`PlanExecutor` fallback — slower, never
+down — with ``/healthz`` reporting ``degraded`` (200) vs ``dead`` (503).
+
 The engine is *observable while running* (the telemetry spine):
 
 - every request feeds latency / queue-wait / batch-size / window-occupancy
@@ -39,11 +48,13 @@ import queue
 import threading
 import time
 from concurrent.futures import Future
+from concurrent.futures import TimeoutError as _FutureTimeout  # builtin alias on 3.11+
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from .counters import RequestStats, ServeReport, WorkerStat
+from .executor import PlanExecutor
 from .metrics import (
     BATCH_SIZE_BUCKETS,
     OCCUPANCY_BUCKETS,
@@ -52,10 +63,21 @@ from .metrics import (
     export_executor_stats,
     merge_snapshots,
 )
-from .pool import WorkerPool
+from .pool import PoolDegradedError, WorkerCrashError, WorkerPool
 from .tracing import RequestTrace, TraceBuffer
 
-__all__ = ["ServingEngine"]
+__all__ = ["DeadlineExceeded", "QueueFull", "ServingEngine"]
+
+
+class QueueFull(RuntimeError):
+    """Admission control rejected a submit: the request queue is at its
+    ``max_queue`` bound.  Shedding load at the door beats queueing work
+    the server cannot finish inside any useful latency budget."""
+
+
+class DeadlineExceeded(TimeoutError):
+    """The request's deadline expired before it was dispatched; it was
+    dropped without being computed."""
 
 
 @dataclass
@@ -65,6 +87,8 @@ class _Request:
     future: Future
     submitted_at: float
     collected_at: float = field(default=0.0)  # when a worker pulled it off the queue
+    deadline_at: float = field(default=0.0)  # perf_counter bound; 0.0 = none
+    attempts: int = field(default=0)  # dispatch attempts (retries show > 1)
 
 
 class ServingEngine:
@@ -93,6 +117,25 @@ class ServingEngine:
         views in :meth:`metrics_snapshot` still work).
     trace_capacity : int
         Ring-buffer bound for per-request span traces (:meth:`traces`).
+    max_queue : int | None
+        Admission bound: :meth:`submit` raises :class:`QueueFull` once
+        this many requests are waiting (``None`` = unbounded, the old
+        behaviour).  Shedding at the door keeps queue wait bounded.
+    max_retries : int
+        Retries per micro-batch when the pool loses the worker serving
+        it (:class:`~repro.runtime.pool.WorkerCrashError`).  After the
+        budget is spent a multi-request batch is split in half — each
+        half with a fresh budget — so one poison input cannot sink its
+        batchmates; a single request that still crashes workers fails
+        with the crash error (it is *not* run in-process, where it could
+        take the server down with it).
+    fallback : str
+        ``"auto"`` (default) builds an in-process
+        :class:`~repro.runtime.executor.PlanExecutor` over the pool's
+        model/plan the first time the pool collapses past its circuit
+        breaker (:class:`~repro.runtime.pool.PoolDegradedError`) and
+        serves through it — slower, never down.  ``"none"`` disables
+        the fallback; a collapsed pool then fails requests.
     """
 
     def __init__(
@@ -103,15 +146,33 @@ class ServingEngine:
         workers: int = 1,
         metrics: "MetricsRegistry | bool | None" = True,
         trace_capacity: int = 256,
+        max_queue: int | None = None,
+        max_retries: int = 2,
+        fallback: str = "auto",
     ) -> None:
         if max_batch <= 0:
             raise ValueError(f"max_batch must be positive, got {max_batch}")
         if workers <= 0:
             raise ValueError(f"workers must be positive, got {workers}")
+        if max_queue is not None and max_queue <= 0:
+            raise ValueError(f"max_queue must be positive or None, got {max_queue}")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if fallback not in ("auto", "none"):
+            raise ValueError(f"fallback must be 'auto' or 'none', got {fallback!r}")
         self.executor = executor
         self.max_batch = max_batch
         self.batch_window = batch_window
         self.workers = workers
+        self.max_queue = max_queue
+        self.max_retries = max_retries
+        self.fallback = fallback
+        # Degradation state: once the pool collapses past its breaker the
+        # engine pins itself to the in-process fallback (the pool cannot
+        # self-heal past an open breaker, so probing it again is pointless).
+        self._degraded = False
+        self._fallback_pool: "WorkerPool | None" = None
+        self._fallback_lock = threading.Lock()
         self._queue: "queue.Queue[_Request | None]" = queue.Queue()
         self._threads: list[threading.Thread] = []
         self._ids = itertools.count()
@@ -160,6 +221,22 @@ class ServingEngine:
                 "tasd_serve_batch_occupancy",
                 "Micro-batch fill fraction of max_batch",
                 buckets=OCCUPANCY_BUCKETS,
+            ).labels()
+            self._m_retried = metrics.counter(
+                "tasd_serve_requests_retried_total",
+                "Request dispatch attempts repeated after a worker crash",
+            ).labels()
+            self._m_deadline = metrics.counter(
+                "tasd_serve_deadline_exceeded_total",
+                "Requests dropped because their deadline expired before dispatch",
+            ).labels()
+            self._m_rejected = metrics.counter(
+                "tasd_serve_queue_rejected_total",
+                "Submits rejected by the max_queue admission bound",
+            ).labels()
+            self._m_fallback = metrics.counter(
+                "tasd_serve_fallback_batches_total",
+                "Micro-batches served by the in-process fallback executor",
             ).labels()
 
     # ------------------------------------------------------------------ #
@@ -216,21 +293,51 @@ class ServingEngine:
         self.stop()
 
     # ------------------------------------------------------------------ #
-    def submit(self, x: np.ndarray) -> Future:
-        """Enqueue one request; the future resolves to its output batch."""
+    def submit(self, x: np.ndarray, deadline: float | None = None) -> Future:
+        """Enqueue one request; the future resolves to its output batch.
+
+        ``deadline`` is a per-request latency budget in seconds: a request
+        still waiting when it expires is dropped *before* dispatch and its
+        future raises :class:`DeadlineExceeded` — no compute is spent on an
+        answer the client has stopped waiting for.  Raises
+        :class:`QueueFull` when the ``max_queue`` admission bound is hit.
+        """
         x = np.asarray(x)
         if x.ndim < 1 or x.shape[0] < 1:
             raise ValueError(f"request input needs a leading batch axis, got shape {x.shape}")
-        request = _Request(next(self._ids), x, Future(), time.perf_counter())
+        if deadline is not None and deadline <= 0:
+            raise ValueError(f"deadline must be positive seconds, got {deadline}")
+        now = time.perf_counter()
+        deadline_at = now + deadline if deadline is not None else 0.0
+        request = _Request(next(self._ids), x, Future(), now, deadline_at=deadline_at)
         with self._state_lock:
             if not self._running:
                 raise RuntimeError("serving engine is not running; call start() first")
+            if self.max_queue is not None and self._queue.qsize() >= self.max_queue:
+                if self.metrics is not None:
+                    self._m_rejected.inc()
+                raise QueueFull(
+                    f"request queue is at its max_queue bound ({self.max_queue}); "
+                    "shed load, retry later, or raise max_queue"
+                )
             self._queue.put(request)
         return request.future
 
-    def infer(self, x: np.ndarray, timeout: float | None = None) -> np.ndarray:
-        """Synchronous convenience wrapper around :meth:`submit`."""
-        return self.submit(x).result(timeout=timeout)
+    def infer(
+        self, x: np.ndarray, timeout: float | None = None, deadline: float | None = None
+    ) -> np.ndarray:
+        """Synchronous convenience wrapper around :meth:`submit`.
+
+        A wait that times out *cancels* the request: if it has not been
+        dispatched yet it is skipped at collection time instead of being
+        computed into the void (give up on the answer, give up the work).
+        """
+        future = self.submit(x, deadline=deadline)
+        try:
+            return future.result(timeout=timeout)
+        except (TimeoutError, _FutureTimeout):
+            future.cancel()
+            raise
 
     # ------------------------------------------------------------------ #
     def _gather_batch(self, first: _Request) -> tuple[list[_Request], "_Request | None"]:
@@ -283,30 +390,83 @@ class ServingEngine:
             self._execute_batch(batch)
 
     def _execute_batch(self, batch: list[_Request]) -> None:
+        """Admission-filter a freshly formed micro-batch, then dispatch it."""
+        now = time.perf_counter()
+        live: list[_Request] = []
+        for req in batch:
+            if not req.future.set_running_or_notify_cancel():
+                # infer(timeout=) gave up on this request: skip it here
+                # instead of computing an answer nobody will collect.
+                self._trace_failure(req, now, now, len(batch), "cancelled")
+                continue
+            if req.deadline_at and now > req.deadline_at:
+                self._fail_deadline(req, now, len(batch))
+                continue
+            live.append(req)
+        if live:
+            self._run_batch(live, self.max_retries)
+
+    def _run_batch(self, batch: list[_Request], retries_left: int) -> None:
+        """Dispatch one micro-batch with crash recovery.
+
+        A :class:`~repro.runtime.pool.WorkerCrashError` (the worker died or
+        missed its reply deadline with this batch in flight) is retried up
+        to ``max_retries`` times on whatever worker the pool hands over
+        next — by then the supervisor has usually respawned the dead one.
+        When the budget is spent on a multi-request batch, the batch is
+        split in half with a fresh budget per half, isolating a poison
+        request from its batchmates; a lone request that keeps killing
+        workers fails with the crash error rather than being run
+        in-process, where it could take the whole server down.  A pool
+        collapsed past its circuit breaker (:class:`PoolDegradedError`)
+        switches the engine to the in-process fallback permanently.
+        """
+        if any(req.deadline_at for req in batch):
+            # Re-checked per attempt: a retry after a crash must not
+            # dispatch requests whose budget the crash already spent.
+            now = time.perf_counter()
+            keep = []
+            for req in batch:
+                if req.deadline_at and now > req.deadline_at:
+                    self._fail_deadline(req, now, len(batch))
+                else:
+                    keep.append(req)
+            batch = keep
+            if not batch:
+                return
         dispatched_at = time.perf_counter()
+        for req in batch:
+            req.attempts += 1
         sizes = [req.x.shape[0] for req in batch]
         inputs = np.concatenate([req.x for req in batch], axis=0) if len(batch) > 1 else batch[0].x
         try:
-            outputs = self.executor.run(inputs)
-        except Exception as exc:  # pragma: no cover - defensive
-            failed_at = time.perf_counter()
-            if self.metrics is not None:
-                self._m_errors.inc(len(batch))
-            for req in batch:
-                req.future.set_exception(exc)
-                self._traces.record(
-                    RequestTrace.from_timestamps(
-                        request_id=req.request_id,
-                        submitted_at=req.submitted_at,
-                        collected_at=req.collected_at,
-                        dispatched_at=dispatched_at,
-                        done_at=failed_at,
-                        resolved_at=failed_at,
-                        batch_size=len(batch),
-                        samples=req.x.shape[0],
-                        error=f"{type(exc).__name__}: {exc}",
-                    )
-                )
+            outputs = self._dispatch(inputs)
+        except WorkerCrashError as exc:
+            if self._note_degraded() is not None:
+                self._run_batch(batch, retries_left)  # pool collapsed: fallback serves it
+                return
+            if retries_left > 0:
+                if self.metrics is not None:
+                    self._m_retried.inc(len(batch))
+                self._run_batch(batch, retries_left - 1)
+                return
+            if len(batch) > 1:
+                mid = len(batch) // 2
+                self._run_batch(batch[:mid], self.max_retries)
+                self._run_batch(batch[mid:], self.max_retries)
+                return
+            self._fail_batch(batch, exc, dispatched_at)
+            return
+        except PoolDegradedError as exc:
+            if self._note_degraded() is not None:
+                self._run_batch(batch, retries_left)
+                return
+            self._fail_batch(batch, exc, dispatched_at)
+            return
+        except Exception as exc:
+            # Deterministic execution errors (bad shape, backend bug) would
+            # fail identically on retry: fail the whole batch at once.
+            self._fail_batch(batch, exc, dispatched_at)
             return
         done_at = time.perf_counter()
         compute_time = done_at - dispatched_at
@@ -319,6 +479,7 @@ class ServingEngine:
                 queue_time=dispatched_at - req.submitted_at,
                 compute_time=compute_time,
                 latency=done_at - req.submitted_at,
+                attempts=req.attempts,
             )
             for req in batch
         ]
@@ -347,8 +508,78 @@ class ServingEngine:
                     resolved_at=time.perf_counter(),
                     batch_size=len(batch),
                     samples=req.x.shape[0],
+                    attempts=req.attempts,
                 )
             )
+
+    # ------------------------------------------------------------------ #
+    # Recovery plumbing.
+    # ------------------------------------------------------------------ #
+    def _dispatch(self, inputs: np.ndarray) -> np.ndarray:
+        if self._degraded and self._fallback_pool is not None:
+            if self.metrics is not None:
+                self._m_fallback.inc()
+            return self._fallback_pool.run(inputs)
+        return self.executor.run(inputs)
+
+    def _note_degraded(self) -> "WorkerPool | None":
+        """Pin the engine to its in-process fallback once the pool collapses.
+
+        Returns the fallback pool when degraded serving is active (building
+        and installing it on first use), else ``None``.  An open circuit
+        breaker never closes on its own, so once collapsed the pool is not
+        probed again — every later batch goes straight to the fallback.
+        """
+        if not self._degraded and not getattr(self.executor, "degraded", False):
+            return None
+        if self.fallback != "none" and not isinstance(self.executor, PlanExecutor):
+            with self._fallback_lock:
+                if self._fallback_pool is None:
+                    model = getattr(self.executor, "model", None)
+                    plan = getattr(self.executor, "plan", None)
+                    if model is not None and plan is not None:
+                        self._fallback_pool = PlanExecutor(model, plan).install()
+        if self._fallback_pool is not None:
+            self._degraded = True
+            return self._fallback_pool
+        return None
+
+    def _fail_deadline(self, req: _Request, now: float, batch_size: int) -> None:
+        if self.metrics is not None:
+            self._m_deadline.inc()
+        exc = DeadlineExceeded(
+            f"request {req.request_id} missed its deadline by "
+            f"{now - req.deadline_at:.3f}s before dispatch"
+        )
+        req.future.set_exception(exc)
+        self._trace_failure(req, now, now, batch_size, "DeadlineExceeded: dropped before dispatch")
+
+    def _fail_batch(self, batch: list[_Request], exc: Exception, dispatched_at: float) -> None:
+        failed_at = time.perf_counter()
+        if self.metrics is not None:
+            self._m_errors.inc(len(batch))
+        label = f"{type(exc).__name__}: {exc}"
+        for req in batch:
+            req.future.set_exception(exc)
+            self._trace_failure(req, dispatched_at, failed_at, len(batch), label)
+
+    def _trace_failure(
+        self, req: _Request, dispatched_at: float, failed_at: float, batch_size: int, error: str
+    ) -> None:
+        self._traces.record(
+            RequestTrace.from_timestamps(
+                request_id=req.request_id,
+                submitted_at=req.submitted_at,
+                collected_at=req.collected_at,
+                dispatched_at=dispatched_at,
+                done_at=failed_at,
+                resolved_at=failed_at,
+                batch_size=batch_size,
+                samples=req.x.shape[0],
+                error=error,
+                attempts=req.attempts,
+            )
+        )
 
     # ------------------------------------------------------------------ #
     def report(self) -> ServeReport:
@@ -379,15 +610,38 @@ class ServingEngine:
         return list(fn()) if fn is not None else []
 
     def healthz(self) -> tuple[bool, dict]:
-        """Pool liveness: healthy while running with at least one live worker."""
+        """Liveness with degradation: ``ok`` / ``degraded`` / ``dead``.
+
+        ``ok`` and ``degraded`` both scrape as HTTP 200 — a degraded server
+        is still answering, just without its pool (in-process fallback, or
+        mid-respawn with no worker up right now) — while ``dead`` (stopped,
+        or collapsed with no fallback to serve through) scrapes as 503.
+        """
         workers = self.worker_stats()
         alive = sum(1 for w in workers if w.alive)
-        ok = self._running and (alive > 0 or not workers)
-        return ok, {
+        pool_degraded = self._degraded or bool(getattr(self.executor, "degraded", False))
+        if not self._running:
+            status = "dead"
+        elif pool_degraded:
+            can_fallback = self._degraded and self._fallback_pool is not None
+            if not can_fallback:
+                can_fallback = self.fallback != "none" and not isinstance(
+                    self.executor, PlanExecutor
+                )
+            status = "degraded" if can_fallback else "dead"
+        elif workers and alive == 0:
+            # No worker up *right now*: degraded while a supervisor can
+            # still respawn, dead when nothing will bring one back.
+            status = "degraded" if getattr(self.executor, "respawn", False) else "dead"
+        else:
+            status = "ok"
+        return status != "dead", {
+            "status": status,
             "running": self._running,
             "workers_alive": alive,
             "workers_total": len(workers),
             "queue_depth": self._queue.qsize(),
+            "fallback_active": self._fallback_pool is not None and self._degraded,
         }
 
     def metrics_snapshot(self) -> dict:
@@ -438,6 +692,24 @@ class ServingEngine:
         registry.gauge(
             "tasd_serve_traces_dropped", "Traces discarded by the ring-buffer bound"
         ).set(self._traces.dropped)
+        # Recovery telemetry: supervised pools count deaths/respawns on
+        # their own attributes (no registry on the hot path); exported here
+        # at scrape time alongside the engine's degradation state.
+        respawns = getattr(self.executor, "respawns", None)
+        if respawns is not None:
+            registry.counter(
+                "tasd_worker_respawns_total", "Workers respawned by the pool supervisor"
+            ).inc(respawns)
+        deaths = getattr(self.executor, "deaths", None)
+        if deaths is not None:
+            registry.counter(
+                "tasd_worker_deaths_total", "Pool workers retired after dying"
+            ).inc(deaths)
+        degraded = self._degraded or bool(getattr(self.executor, "degraded", False))
+        registry.gauge(
+            "tasd_serve_degraded",
+            "1 while the pool has collapsed and the engine serves degraded",
+        ).set(1.0 if degraded else 0.0)
         snaps.append(registry.snapshot())
         return merge_snapshots(*snaps)
 

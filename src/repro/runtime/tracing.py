@@ -54,6 +54,7 @@ class RequestTrace:
     samples: int
     spans: tuple[Span, ...]
     error: str | None = None
+    attempts: int = 1  # dispatch attempts; > 1 means crash-recovery retries
 
     @property
     def latency(self) -> float:
@@ -81,6 +82,7 @@ class RequestTrace:
         batch_size: int,
         samples: int,
         error: str | None = None,
+        attempts: int = 1,
     ) -> "RequestTrace":
         """Build the standard span set from the engine's five timestamps.
 
@@ -105,6 +107,7 @@ class RequestTrace:
             samples=samples,
             spans=spans,
             error=error,
+            attempts=attempts,
         )
 
 
@@ -172,10 +175,13 @@ class TraceBuffer:
         ]
         for t in traces:
             ms = {s.name: s.duration * 1e3 for s in t.spans}
+            status = "ok" if t.ok else t.error
+            if t.attempts > 1:  # crash-recovery retries are worth seeing
+                status = f"{status} (x{t.attempts})"
             lines.append(
                 f"{t.request_id:>8d} {t.batch_size:>5d} {t.samples:>7d} "
                 f"{ms.get('enqueue', 0.0):>10.2f} {ms.get('batch_form', 0.0):>8.2f} "
                 f"{ms.get('execute', 0.0):>10.2f} {ms.get('reply', 0.0):>8.2f} "
-                f"{t.latency * 1e3:>9.2f}  {'ok' if t.ok else t.error}"
+                f"{t.latency * 1e3:>9.2f}  {status}"
             )
         return "\n".join(lines) + "\n"

@@ -244,6 +244,20 @@ class TestProcessWorkerPool:
             out = pool.run(batch)
             assert out.shape == (2, 10)
 
+    def test_worker_error_carries_remote_traceback(self, compiled):
+        from repro.runtime import RemoteTraceback
+
+        model, _, plan = compiled
+        bad = np.zeros((2, 7, 8, 8))
+        with ProcessWorkerPool(model, plan, workers=1) as pool:
+            with pytest.raises(Exception) as excinfo:
+                pool.run(bad)
+            # The child's formatted stack rides the pipe and is chained into
+            # the re-raised exception, so serving failures stay debuggable.
+            cause = excinfo.value.__cause__
+            assert isinstance(cause, RemoteTraceback)
+            assert "Traceback (most recent call last)" in str(cause)
+
     def test_source_model_untouched_and_segment_cleaned(self, compiled, batch):
         model, _, plan = compiled
         pool = ProcessWorkerPool(model, plan, workers=1)

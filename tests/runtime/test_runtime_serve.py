@@ -328,6 +328,28 @@ def test_live_metrics_endpoint_end_to_end(pool_kind):
             assert gemm_counts.get(name) == calls.get(name) != None  # noqa: E711
 
 
+def test_healthz_status_and_recovery_counters_scrape(executor):
+    """A healthy engine scrapes status "ok" and exports the recovery metrics."""
+    engine = ServingEngine(executor)
+    with engine:
+        engine.infer(np.random.default_rng(3).normal(size=(1, 3, 8, 8)), timeout=60.0)
+        with engine.serve_metrics(port=0) as server:
+            status, body = _scrape(server.url + "/healthz")
+            detail = json.loads(body)
+            assert status == 200
+            assert detail["status"] == "ok"
+            assert detail["fallback_active"] is False
+            status, text = _scrape(server.url + "/metrics")
+            for name in (
+                "tasd_serve_requests_retried_total",
+                "tasd_serve_deadline_exceeded_total",
+                "tasd_serve_queue_rejected_total",
+                "tasd_serve_degraded",
+            ):
+                assert name in text, f"{name} missing from /metrics"
+            assert "tasd_serve_degraded 0" in text  # healthy: not degraded
+
+
 def test_healthz_reports_stopped_engine_unhealthy(executor):
     engine = ServingEngine(executor)
     with engine.serve_metrics(port=0) as server:
