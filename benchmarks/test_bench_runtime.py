@@ -22,7 +22,9 @@ autotune, with identical backend choices and bit-identical served outputs.
 ``test_runtime_metrics_overhead`` fences the telemetry spine: serving with
 the metrics registry and request tracing enabled must stay within 5 % of
 the uninstrumented engine's throughput, and it writes the repo's
-``BENCH_runtime.json`` trajectory point (throughput, p50/p95/p99).
+``BENCH_runtime.json`` trajectory point (throughput, p50/p95/p99) —
+appending to the file's bounded ``history`` list, so the perf trajectory
+accumulates across runs instead of overwriting itself.
 
 ``test_runtime_supervision_overhead`` fences the fault-tolerance layer
 the same way: a supervised process pool (respawn + health pings on) must
@@ -351,24 +353,36 @@ def test_runtime_metrics_overhead(serving_setup):
         f"p99 {best.p99 * 1e3:.2f} ms"
     )
     bench_path = Path(__file__).resolve().parents[1] / "BENCH_runtime.json"
-    bench_path.write_text(
-        json.dumps(
-            {
-                "workload": "serving: 48 x 1-sample requests, autotuned sparse "
-                "ResNet-18, 2 engine workers, max_batch 4",
-                "throughput_rps": round(on, 2),
-                "throughput_uninstrumented_rps": round(off, 2),
-                "metrics_overhead_pct": round(overhead * 100.0, 2),
-                "latency_ms": {
-                    "p50": round(best.p50 * 1e3, 3),
-                    "p95": round(best.p95 * 1e3, 3),
-                    "p99": round(best.p99 * 1e3, 3),
-                },
-            },
-            indent=2,
-        )
-        + "\n"
-    )
+    record = {
+        "workload": "serving: 48 x 1-sample requests, autotuned sparse "
+        "ResNet-18, 2 engine workers, max_batch 4",
+        "throughput_rps": round(on, 2),
+        "throughput_uninstrumented_rps": round(off, 2),
+        "metrics_overhead_pct": round(overhead * 100.0, 2),
+        "latency_ms": {
+            "p50": round(best.p50 * 1e3, 3),
+            "p95": round(best.p95 * 1e3, 3),
+            "p99": round(best.p99 * 1e3, 3),
+        },
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    }
+    # Accumulate a perf trajectory instead of overwriting the single data
+    # point: the latest record stays flat at the top level (existing
+    # readers key on "throughput_rps" there) and every run appends to a
+    # bounded "history" list.
+    history: list = []
+    if bench_path.exists():
+        try:
+            previous = json.loads(bench_path.read_text())
+        except json.JSONDecodeError:
+            previous = {}
+        history = list(previous.get("history", []))
+        if not history and "throughput_rps" in previous:
+            # Seed the trajectory with the pre-history flat record.
+            history.append({k: v for k, v in previous.items() if k != "history"})
+    history.append(record)
+    del history[:-50]
+    bench_path.write_text(json.dumps({**record, "history": history}, indent=2) + "\n")
     assert on > 0 and off > 0
     assert overhead <= 0.05, (
         f"metrics-enabled serving {overhead * 100.0:.1f}% slower than disabled "

@@ -24,6 +24,13 @@ over HTTP — Prometheus ``/metrics``, ``/metrics.json``, ``/healthz``, and
 a human-readable ``/statusz`` — so you can watch a live server instead of
 waiting for a post-mortem ``report()``.
 
+Finally it is *operable with zero downtime* (section 8): a hot
+``swap_plan`` rolls a new compiled artifact onto the live fleet behind a
+canary batch (a corrupt candidate is rejected typed-ly with the old plan
+still serving), ``scale_to`` resizes the worker fleet in place, and
+``drain`` finishes every admitted request before stopping — the CLI maps
+SIGHUP and SIGTERM to the same operations.
+
 Run:  python examples/serve_resnet.py
 """
 
@@ -196,4 +203,64 @@ if __name__ == "__main__":
             print(f"\nkilled worker pid {victim}: output unchanged, pool back to "
                   f"{len(pool.worker_pids())}/2 workers, "
                   f"worker_respawns_total {int(respawns)}")
+
+    # -----------------------------------------------------------------------
+    # 8. Rolling upgrades and drain: change the plan, the fleet size, or
+    #    shut down — all without dropping a request.
+    #
+    #    `engine.swap_plan(plan_or_path)` rolls a new compiled artifact
+    #    onto the live workers one at a time: a *canary* batch validates
+    #    the candidate on the first swapped worker (outputs must allclose
+    #    the live plan's), and only then does the rest of the fleet
+    #    follow; the old shared-memory segment is unlinked after the last
+    #    worker detaches.  A candidate that computes the wrong function —
+    #    wrong weights (fingerprint gate), corrupt arithmetic, a crash —
+    #    raises a typed `SwapRejected` and the old plan never stops
+    #    serving.  `engine.scale_to(n)` resizes the worker fleet in place
+    #    (an `Autoscaler` can drive it from queue depth + utilization
+    #    with hysteresis and cooldown), and `engine.drain()` closes the
+    #    admission door (`/healthz` reports "draining", late submits get
+    #    `QueueFull`), finishes everything already accepted, then stops.
+    #    Against a real server the CLI wires the same operations to
+    #    signals — SIGHUP hot-reloads `--plan`, SIGTERM drains and exits
+    #    0:
+    #
+    #        python -m repro.cli serve --plan plan.npz --pool process \
+    #            --workers 4 --requests 500 &
+    #        kill -HUP %1   # hot-swap to the (updated) plan.npz artifact
+    #        kill -TERM %1  # drain: finish admitted work, exit 0
+    # -----------------------------------------------------------------------
+    from repro.runtime import SwapRejected, skewed_plan
+
+    # The candidate: a freshly re-compiled artifact carrying the live
+    # plan's tuned kernel choices — same function, same kernels, so the
+    # upgrade must be bit-exact.  (A candidate with *different* backend
+    # choices still canaries clean, just at allclose rather than ulp.)
+    candidate = compile_plan(model, transform)
+    for name, choice in plan.backend_choices().items():
+        candidate.layers[name].backend = choice
+    pool = ProcessWorkerPool(model, plan, workers=2, respawn_backoff=0.01,
+                             health_interval=0.05)
+    with pool:
+        engine = ServingEngine(pool, max_batch=4, workers=2)
+        engine.start()
+        before = engine.infer(inputs[0], timeout=120.0)
+        info = engine.swap_plan(candidate, canary=inputs[0])
+        after = engine.infer(inputs[0], timeout=120.0)
+        np.testing.assert_array_equal(after, before)  # upgrade invisible
+        print(f"\nhot swap: {info['swapped_workers']} workers rolled, "
+              "served outputs bit-identical across the upgrade")
+
+        try:  # a corrupt artifact dies at the canary, serving never blinks
+            engine.swap_plan(skewed_plan(candidate), canary=inputs[0])
+        except SwapRejected as exc:
+            print(f"corrupt candidate rejected: {exc.reason.split(';')[0]}")
+
+        engine.scale_to(3)  # spawned from the already-shared segment
+        print(f"scaled to {len(pool.worker_pids())} workers in place")
+
+        futures = [engine.submit(x) for x in inputs]
+        engine.drain(timeout=60.0)  # door closed, admitted work finished
+        assert all(f.done() for f in futures) and engine.queue_depth == 0
+        print("drained: every admitted request answered, queue empty")
 

@@ -218,10 +218,42 @@ def _tune_observed(args: argparse.Namespace, model, plan, requests) -> str:
     )
 
 
+def _install_serve_signals(flags: dict) -> "dict | None":
+    """Map SIGTERM -> graceful drain and SIGHUP -> plan reload for `serve`.
+
+    Handlers only set flags; the serving loop acts on them between future
+    waits, so all engine work happens on the main thread, not inside a
+    signal handler.  Returns the previous handlers for restoration, or
+    None when not on the main thread (signal.signal would raise there).
+    """
+    import signal
+    import threading
+
+    if threading.current_thread() is not threading.main_thread():
+        return None
+    previous = {
+        signal.SIGTERM: signal.signal(
+            signal.SIGTERM, lambda signum, frame: flags.__setitem__("drain", True)
+        )
+    }
+    if hasattr(signal, "SIGHUP"):
+        previous[signal.SIGHUP] = signal.signal(
+            signal.SIGHUP, lambda signum, frame: flags.__setitem__("swap", True)
+        )
+    return previous
+
+
+def _restore_serve_signals(previous: "dict | None") -> None:
+    import signal
+
+    for signum, handler in (previous or {}).items():
+        signal.signal(signum, handler)
+
+
 def _serve(args: argparse.Namespace) -> str:
     import numpy as np
 
-    from repro.runtime import PlanExecutor, ServingEngine, make_pool
+    from repro.runtime import PlanExecutor, ServingEngine, SwapRejected, make_pool
 
     _check_runtime_flags(args)
     workers = args.workers if args.workers is not None else args.replicas
@@ -273,13 +305,50 @@ def _serve(args: argparse.Namespace) -> str:
                 if args.metrics_port is not None
                 else None
             )
+            flags: dict = {}
+            previous_handlers = _install_serve_signals(flags)
             try:
                 futures = [engine.submit(x) for x in requests]
+                for f in futures:
+                    while True:
+                        if flags.pop("swap", False):
+                            if args.plan is None:
+                                lines.append(
+                                    "SIGHUP ignored: no --plan artifact path to reload"
+                                )
+                            else:
+                                try:
+                                    info = engine.swap_plan(args.plan)
+                                    lines.append(
+                                        f"SIGHUP: hot-swapped plan from {args.plan} "
+                                        f"({info['swapped_workers']} workers rolled)"
+                                    )
+                                except SwapRejected as exc:
+                                    lines.append(
+                                        f"SIGHUP: swap rejected, old plan kept "
+                                        f"({exc.reason})"
+                                    )
+                        if flags.pop("drain", False):
+                            drained = engine.drain(timeout=args.drain_timeout)
+                            lines.append(
+                                "SIGTERM: drained gracefully, queue empty"
+                                if drained
+                                else "SIGTERM: drain timed out with work pending"
+                            )
+                            break
+                        try:
+                            f.result(timeout=0.2)
+                            break
+                        except TimeoutError:
+                            continue
+                    if flags == {} and not engine.running:
+                        break  # drained: every admitted future is resolved
                 for f in futures:
                     f.result(timeout=120.0)
                 if server is not None:
                     metrics_note = _scrape_own_metrics(server)
             finally:
+                _restore_serve_signals(previous_handlers)
                 if server is not None:
                     server.close()
         report = engine.report()
@@ -457,6 +526,14 @@ def main(argv: list[str] | None = None) -> int:
         default=True,
         help="supervise process-pool workers and respawn dead ones from the "
         "shared plan segment (serve, --pool process)",
+    )
+    parser.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=30.0,
+        metavar="S",
+        help="seconds a SIGTERM-triggered graceful drain may spend "
+        "finishing admitted requests before giving up (serve)",
     )
     parser.add_argument(
         "--plan",

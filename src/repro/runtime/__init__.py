@@ -57,6 +57,16 @@ poison inputs — enforces per-request deadlines and a bounded admission
 queue, and degrades onto an in-process :class:`PlanExecutor` when the
 pool collapses.  :mod:`repro.runtime.chaos` injects all of those faults
 on purpose (kill/hang/slow/poison/crash-on-Nth) for tests and drills.
+
+Operations are zero-downtime: ``engine.swap_plan(path_or_plan)`` rolls a
+new compiled artifact onto live workers one at a time behind a canary
+batch (mismatch, attach failure, or a mid-roll crash rolls everything
+back and raises :class:`SwapRejected` — the old plan never stops
+serving), ``engine.scale_to(n)`` resizes the worker fleet in place (an
+:class:`Autoscaler` can drive it from queue depth and utilization with
+hysteresis and cooldown), and ``engine.drain(timeout)`` stops admission,
+finishes every accepted request, then shuts down — the CLI maps SIGTERM
+to drain and SIGHUP to a plan reload.
 """
 
 from .autotune import AutotuneResult, autotune_operand, retune_plan
@@ -102,12 +112,15 @@ from .planio import (
     attach_plan,
     load_plan,
     model_fingerprint,
+    plan_fingerprint,
     save_plan,
     share_plan,
 )
-from .chaos import ChaosMonkey, ChaosSpec, is_poisoned, poison_batch
+from .autoscale import Autoscaler
+from .chaos import ChaosMonkey, ChaosSpec, is_poisoned, poison_batch, skewed_plan
 from .pool import (
     POOL_KINDS,
+    PlanSwapError,
     PoolDegradedError,
     ProcessWorkerPool,
     RemoteTraceback,
@@ -117,10 +130,11 @@ from .pool import (
     make_pool,
 )
 from .replica import ReplicaExecutor
-from .serve import DeadlineExceeded, QueueFull, ServingEngine
+from .serve import DeadlineExceeded, QueueFull, ServingEngine, SwapRejected
 from .tracing import RequestTrace, Span, TraceBuffer
 
 __all__ = [
+    "Autoscaler",
     "AutotuneResult",
     "CacheCounters",
     "ChaosMonkey",
@@ -144,6 +158,7 @@ __all__ = [
     "PlanDigestError",
     "PlanExecutor",
     "PlanFormatError",
+    "PlanSwapError",
     "PoolDegradedError",
     "ProcessWorkerPool",
     "QueueFull",
@@ -156,6 +171,7 @@ __all__ = [
     "SharedArrayRef",
     "SharedOperandStore",
     "Span",
+    "SwapRejected",
     "ThreadWorkerPool",
     "TraceBuffer",
     "WorkerCrashError",
@@ -173,7 +189,9 @@ __all__ = [
     "make_pool",
     "merge_snapshots",
     "model_fingerprint",
+    "plan_fingerprint",
     "poison_batch",
+    "skewed_plan",
     "register_backend",
     "render_prometheus",
     "retune_plan",

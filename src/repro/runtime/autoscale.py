@@ -1,0 +1,219 @@
+"""Queue-depth autoscaling: size the worker fleet to the load, elastically.
+
+The serving tier can now resize itself while serving
+(:meth:`~repro.runtime.pool.ProcessWorkerPool.scale_to` spawns workers
+from the already-shared plan segment and retires idle ones gracefully),
+but *when* to resize is a control problem: scale on every queue blip and
+the fleet flaps — worse, rapid scale churn could age the same sliding
+windows the crash-loop circuit breaker watches.  This module provides the
+controller:
+
+- **two signals** — exact queue depth (from the engine's atomic depth
+  counter, the same value behind the ``max_queue`` admission bound and
+  the ``tasd_serve_queue_depth`` gauge) and pool utilization (fraction of
+  workers busy);
+- **watermarks with hysteresis** — a breach must persist for
+  ``breach_ticks`` consecutive observations before anything moves, so a
+  single burst never scales;
+- **cooldown** — after any resize the controller holds still for
+  ``cooldown`` seconds, letting the new fleet size absorb the load (and
+  keeping scale events far apart from the supervisor's respawn backoff);
+- **bounds** — the target never leaves ``[min_workers, max_workers]``.
+
+The controller is deliberately separable from wall-clock and from the
+engine: ``depth_fn`` / ``util_fn`` / ``scale_fn`` / ``clock`` are all
+injectable, so the decision logic unit-tests deterministically — no
+sleeps, no load generation.  In production, construct it over a
+:class:`~repro.runtime.serve.ServingEngine` and :meth:`start` the
+background thread::
+
+    with Autoscaler(engine, min_workers=1, max_workers=8) as scaler:
+        ... serve ...
+    print(scaler.events)  # [(t, "up", 1, 2), ...]
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+__all__ = ["Autoscaler"]
+
+
+class Autoscaler:
+    """Watermark controller driving ``engine.scale_to`` from queue depth.
+
+    Parameters
+    ----------
+    engine
+        A :class:`~repro.runtime.serve.ServingEngine` (or anything with
+        ``queue_depth``, ``workers``, and ``scale_to``).  Signal and
+        actuator callables default to it and are individually
+        overridable for tests.
+    min_workers, max_workers
+        Hard bounds on the target worker count.
+    high_depth
+        Scale **up** when queue depth exceeds this (requests waiting).
+    low_depth
+        Queue depth must be at or below this for a scale **down**.
+    high_util, low_util
+        Utilization watermarks: above ``high_util`` also argues up;
+        a scale down additionally requires utilization at or below
+        ``low_util`` (an empty queue over saturated workers is not idle).
+    breach_ticks
+        Consecutive observations a watermark must stay breached before
+        the controller acts — the hysteresis that stops flapping.
+    cooldown
+        Seconds to hold still after any resize.
+    interval
+        Seconds between observations when running as a thread.
+    step
+        Workers added/removed per scale event.
+    depth_fn, util_fn, scale_fn, clock
+        Injectable signal sources, actuator, and time source.
+    """
+
+    def __init__(
+        self,
+        engine=None,
+        *,
+        min_workers: int = 1,
+        max_workers: int = 8,
+        high_depth: float = 8.0,
+        low_depth: float = 1.0,
+        high_util: float = 0.9,
+        low_util: float = 0.25,
+        breach_ticks: int = 3,
+        cooldown: float = 2.0,
+        interval: float = 0.1,
+        step: int = 1,
+        depth_fn=None,
+        util_fn=None,
+        scale_fn=None,
+        clock=None,
+    ) -> None:
+        if min_workers <= 0:
+            raise ValueError(f"min_workers must be positive, got {min_workers}")
+        if max_workers < min_workers:
+            raise ValueError(
+                f"max_workers ({max_workers}) must be >= min_workers ({min_workers})"
+            )
+        if high_depth <= low_depth:
+            raise ValueError(
+                f"high_depth ({high_depth}) must exceed low_depth ({low_depth})"
+            )
+        if breach_ticks <= 0:
+            raise ValueError(f"breach_ticks must be positive, got {breach_ticks}")
+        if step <= 0:
+            raise ValueError(f"step must be positive, got {step}")
+        if engine is None and (depth_fn is None or scale_fn is None):
+            raise ValueError("provide an engine, or depth_fn and scale_fn")
+        self.engine = engine
+        self.min_workers = min_workers
+        self.max_workers = max_workers
+        self.high_depth = high_depth
+        self.low_depth = low_depth
+        self.high_util = high_util
+        self.low_util = low_util
+        self.breach_ticks = breach_ticks
+        self.cooldown = cooldown
+        self.interval = interval
+        self.step = step
+        self._depth_fn = depth_fn or (lambda: engine.queue_depth)
+        pool = getattr(engine, "executor", None)
+        self._util_fn = util_fn or getattr(pool, "utilization", None) or (lambda: 0.0)
+        self._scale_fn = scale_fn or engine.scale_to
+        self._clock = clock or time.monotonic
+        self._current = self._clamp(getattr(engine, "workers", min_workers) or min_workers)
+        self._high_streak = 0
+        self._low_streak = 0
+        self._cooldown_until = float("-inf")
+        self._thread: "threading.Thread | None" = None
+        self._stop = threading.Event()
+        # Bounded event log: (clock time, direction, from, to).
+        self.events: list[tuple[float, str, int, int]] = []
+
+    # ------------------------------------------------------------------ #
+    def _clamp(self, n: int) -> int:
+        return max(self.min_workers, min(self.max_workers, int(n)))
+
+    @property
+    def target(self) -> int:
+        """The controller's current worker-count target."""
+        return self._current
+
+    def tick(self) -> "str | None":
+        """One observation → at most one scale decision.
+
+        Returns ``"up"`` / ``"down"`` when a resize was applied this
+        tick, else ``None``.  Drive this directly for deterministic
+        tests, or let :meth:`start`'s thread call it every ``interval``.
+        """
+        depth = float(self._depth_fn())
+        util = float(self._util_fn())
+        # Streaks first: hysteresis state advances even inside cooldown,
+        # so sustained pressure acts the moment the cooldown lifts.
+        if depth > self.high_depth or util > self.high_util:
+            self._high_streak += 1
+            self._low_streak = 0
+        elif depth <= self.low_depth and util <= self.low_util:
+            self._low_streak += 1
+            self._high_streak = 0
+        else:
+            self._high_streak = 0
+            self._low_streak = 0
+        now = self._clock()
+        if now < self._cooldown_until:
+            return None
+        if self._high_streak >= self.breach_ticks and self._current < self.max_workers:
+            return self._apply("up", self._clamp(self._current + self.step), now)
+        if self._low_streak >= self.breach_ticks and self._current > self.min_workers:
+            return self._apply("down", self._clamp(self._current - self.step), now)
+        return None
+
+    def _apply(self, direction: str, target: int, now: float) -> "str | None":
+        if target == self._current:
+            return None
+        previous = self._current
+        self._scale_fn(target)
+        self._current = target
+        self._high_streak = 0
+        self._low_streak = 0
+        self._cooldown_until = now + self.cooldown
+        self.events.append((now, direction, previous, target))
+        del self.events[:-256]  # bounded
+        return direction
+
+    # ------------------------------------------------------------------ #
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval):
+            try:
+                self.tick()
+            except Exception:
+                # A transient signal/actuator failure (pool mid-swap,
+                # engine stopping) must not kill the controller; the next
+                # tick re-observes.
+                continue
+
+    def start(self) -> "Autoscaler":
+        """Run the controller on a daemon thread (idempotent)."""
+        if self._thread is None or not self._thread.is_alive():
+            self._stop.clear()
+            self._thread = threading.Thread(
+                target=self._loop, name="autoscaler", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop the controller thread (the fleet keeps its current size)."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+
+    def __enter__(self) -> "Autoscaler":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

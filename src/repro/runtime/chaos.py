@@ -34,7 +34,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["CHAOS_EXIT_CODE", "ChaosSpec", "ChaosMonkey", "poison_batch", "is_poisoned"]
+__all__ = [
+    "CHAOS_EXIT_CODE",
+    "ChaosSpec",
+    "ChaosMonkey",
+    "poison_batch",
+    "is_poisoned",
+    "skewed_plan",
+]
 
 # Workers killed by a ChaosSpec exit with this code, so a post-mortem can
 # tell an injected crash from a genuine one.
@@ -65,6 +72,13 @@ class ChaosSpec:
       value kills the worker mid-request: a *poison input* that sinks
       every worker it touches, which is what the engine's batch
       splitting must isolate.  Use :func:`poison_batch` to mark inputs.
+    - ``die_on_swap`` — ``os._exit`` the moment a hot plan-swap command
+      arrives (before touching the new segment): a worker SIGKILLed
+      mid-rollout, which the swap must absorb — completing or rolling
+      back cleanly without stranding a request or leaking a segment.
+      ``die_on_nth_swap`` limits it to that swap ordinal (1-based,
+      per worker), so later swaps (and respawned workers re-attaching)
+      proceed normally.
     """
 
     die_on_start: bool = False
@@ -74,6 +88,8 @@ class ChaosSpec:
     hang_seconds: float = 30.0
     slow_seconds: float = 0.0
     poison_value: float = float("-1.7976931348623157e308")  # sentinel marker
+    die_on_swap: bool = False
+    die_on_nth_swap: int | None = None
 
     # ------------------------------------------------------------------ #
     # Worker-side hooks (called from _pool_worker_main; must never raise
@@ -95,6 +111,57 @@ class ChaosSpec:
             time.sleep(self.hang_seconds)
         if self.slow_seconds > 0.0:
             time.sleep(self.slow_seconds)
+
+    def on_swap(self, nth: int) -> None:
+        """Apply swap-time faults; ``nth`` is 1-based within this worker."""
+        if self.die_on_swap and (self.die_on_nth_swap is None or nth == self.die_on_nth_swap):
+            os._exit(CHAOS_EXIT_CODE)
+
+
+def skewed_plan(plan, scale: float = 2.0):
+    """A deep-copied *corrupt* plan: same weights on paper, wrong arithmetic.
+
+    The copy carries the source plan's weight digests (so it passes a
+    swap's identity gate, exactly like a subtly-corrupted artifact would)
+    but its first compiled layer's term values are scaled by ``scale`` —
+    every forward through it diverges from the source plan far beyond any
+    allclose tolerance.  This is the poisoned artifact a swap **canary**
+    exists to reject; pair it with ``ServingEngine.swap_plan`` and expect
+    ``SwapRejected``.
+
+    The source plan (and its shared operand cache) is never touched: the
+    deepcopy duplicates term storage before skewing it.
+    """
+    import copy
+
+    from .cache import OperandCache
+
+    if scale == 1.0:
+        raise ValueError("scale=1.0 would leave the plan correct; pick any other factor")
+    # The plan's OperandCache holds a threading.Lock (not deepcopy-able)
+    # and its entries are shared with other plans; substitute a fresh,
+    # empty cache for the copy instead of cloning it.
+    bad = copy.deepcopy(plan, {id(plan.cache): OperandCache()})
+    for layer_plan in bad.layers.values():
+        if layer_plan.mode == "compiled" and layer_plan.operand is not None:
+            op = layer_plan.operand
+            values = op.terms[0].values
+            values *= scale
+            flat = op.flat_values[0]
+            # deepcopy may have broken the reshape aliasing between term
+            # values and the flattened kernel table; skew whichever copies
+            # exist, exactly once each.
+            if not np.shares_memory(flat, values):
+                flat *= scale
+            # Prepared backend state (fused tables, CSR arrays, dense
+            # emulation) was derived from the un-skewed values: drop it so
+            # every backend recomputes from the corrupt storage.
+            op.backend_states.clear()
+            return bad
+        if layer_plan.dense_weight is not None:
+            layer_plan.dense_weight *= scale
+            return bad
+    raise ValueError("plan has no layer whose arithmetic can be skewed")
 
 
 def poison_batch(x, value: float = ChaosSpec.poison_value):

@@ -96,6 +96,38 @@ class PlanExecutor:
         return [self.run(x) for x in batches]
 
     # ------------------------------------------------------------------ #
+    def utilization(self) -> float:
+        """1.0 while a forward holds the lock, else 0.0 (autoscaler signal)."""
+        return 1.0 if self._lock.locked() else 0.0
+
+    def swap_plan(self, new_plan: ExecutionPlan, canary=None) -> int:
+        """Hot-swap the compiled plan on this single-worker executor.
+
+        The degenerate pool has no spare worker to validate on, so the
+        new plan is installed first and ``canary(run_fn)`` — when given —
+        validates it *after* the cutover; the canary raising anything
+        reinstalls the old plan and re-raises.  (Live traffic can hit the
+        unvalidated plan during that brief window; real pools canary on
+        an isolated worker instead.)  Returns 1, the worker count.
+        """
+        old_plan = self.plan
+        with self._lock:
+            new_plan.install(self.model)
+            self.model.eval()
+            self.plan = new_plan
+            self._installed = True
+        if canary is not None:
+            try:
+                canary(self.run)
+            except BaseException:
+                with self._lock:
+                    old_plan.install(self.model)
+                    self.model.eval()
+                    self.plan = old_plan
+                raise
+        return 1
+
+    # ------------------------------------------------------------------ #
     def stats(self) -> ExecutorStats:
         """Snapshot of per-layer counters plus whole-forward timing.
 

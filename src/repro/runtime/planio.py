@@ -73,6 +73,7 @@ __all__ = [
     "PlanFormatError",
     "PlanDigestError",
     "model_fingerprint",
+    "plan_fingerprint",
     "save_plan",
     "load_plan",
     "share_plan",
@@ -117,6 +118,23 @@ def model_fingerprint(model: "Module") -> str:
     digests = {
         name: tensor_digest(layer.weight_matrix())
         for name, layer in gemm_layers(model, include_head=True)
+    }
+    return _fingerprint_of_digests(digests)
+
+
+def plan_fingerprint(plan: "ExecutionPlan") -> str:
+    """Content fingerprint of the weights a compiled plan was built from.
+
+    Computed over the same per-layer weight digests that guard persisted
+    artifacts, so it equals :func:`model_fingerprint` of the source model.
+    A hot plan-swap compares the live and candidate plans' fingerprints
+    before any worker is touched: equal fingerprints mean the new plan
+    serves the *same* weights (a retune / re-layout), and a mismatch is a
+    wrong-artifact deploy rejected up front.
+    """
+    digests = {
+        name: _layer_weight_digest(plan, layer_plan)
+        for name, layer_plan in plan.layers.items()
     }
     return _fingerprint_of_digests(digests)
 

@@ -68,6 +68,7 @@ __all__ = [
     "RemoteTraceback",
     "WorkerCrashError",
     "PoolDegradedError",
+    "PlanSwapError",
     "WorkerPool",
     "ThreadWorkerPool",
     "ProcessWorkerPool",
@@ -105,6 +106,18 @@ class PoolDegradedError(RuntimeError):
     """The pool cannot serve: every worker is gone and respawn is off or
     the crash-loop circuit breaker is open.  The serving engine treats
     this as the signal to degrade to in-process execution."""
+
+
+class PlanSwapError(RuntimeError):
+    """A hot plan-swap could not commit and was rolled back.
+
+    Raised by the pool-level :meth:`WorkerPool.swap_plan` when a worker
+    rejects the new plan spec (attach/install failure) or the canary
+    worker dies before delivering a verdict.  The pool is left serving
+    the *old* plan; the new segment is unlinked.  The serving engine
+    wraps this (and canary verdicts) in the user-facing
+    :class:`~repro.runtime.serve.SwapRejected`.
+    """
 
 
 class WorkerPool(abc.ABC):
@@ -161,6 +174,32 @@ class WorkerPool(abc.ABC):
         default is an empty list for substrates with no worker identity.
         """
         return []
+
+    def utilization(self) -> float:
+        """Fraction of workers busy right now, in [0, 1] (autoscaler signal).
+
+        Substrates with no worker identity report 0.0.
+        """
+        return 0.0
+
+    def scale_to(self, n: int) -> int:
+        """Resize the pool to ``n`` workers; returns the delta applied.
+
+        Optional: fixed-size substrates raise ``NotImplementedError`` and
+        the autoscaler leaves them alone.
+        """
+        raise NotImplementedError(f"{type(self).__name__} cannot be resized")
+
+    def swap_plan(self, new_plan: ExecutionPlan, canary=None) -> int:
+        """Roll every worker onto ``new_plan``; returns workers swapped.
+
+        ``canary``, when given, is called as ``canary(run_fn)`` after the
+        first worker holds the new plan and before any other worker is
+        touched; ``run_fn(x)`` executes a batch on that worker.  The
+        canary raising *anything* rejects the swap: the pool rolls back
+        to the old plan and the exception propagates to the caller.
+        """
+        raise NotImplementedError(f"{type(self).__name__} cannot hot-swap plans")
 
     def __enter__(self) -> "WorkerPool":
         return self.install()
@@ -231,11 +270,14 @@ class ThreadWorkerPool(WorkerPool):
         self._current_uids: set[int] = set()
 
     # ------------------------------------------------------------------ #
-    def _build_replica(self) -> tuple[Module, dict[str, LayerPlan]]:
+    def _build_replica(
+        self, plan: ExecutionPlan | None = None
+    ) -> tuple[Module, dict[str, LayerPlan]]:
         # Weights (and eval-time buffers like running BatchNorm statistics)
         # are immutable at inference: seeding the deepcopy memo with their
         # arrays makes every replica alias the source model's tensors, so a
         # replica costs layer objects and forward caches — never weights.
+        plan = plan if plan is not None else self.plan
         memo: dict[int, object] = {}
         for p in self.model.parameters():
             memo[id(p.data)] = p.data
@@ -245,23 +287,27 @@ class ThreadWorkerPool(WorkerPool):
         for _, buf in self.model.named_buffers():
             memo[id(buf)] = buf
         replica = copy.deepcopy(self.model, memo)
-        layer_plans = self.plan.clone_layer_plans()
-        self.plan.install(replica, layer_plans)
+        layer_plans = plan.clone_layer_plans()
+        plan.install(replica, layer_plans)
         replica.eval()
         return replica, layer_plans
+
+    def _enroll_replica(self, replica: Module, layer_plans: dict[str, LayerPlan]) -> None:
+        """Register one built replica: uid, telemetry, the checkout pool."""
+        uid = next(self._uids)
+        with self._stats_lock:
+            self._replica_uid[id(replica)] = uid
+            self._worker_requests.setdefault(uid, 0)
+            self._current_uids.add(uid)
+        self._pool.put(replica)
+        self._replica_plans.append(layer_plans)
 
     def install(self) -> "ThreadWorkerPool":
         with self._state_lock:
             if not self._installed:
                 for _ in range(self.workers):
                     replica, layer_plans = self._build_replica()
-                    uid = next(self._uids)
-                    with self._stats_lock:
-                        self._replica_uid[id(replica)] = uid
-                        self._worker_requests.setdefault(uid, 0)
-                        self._current_uids.add(uid)
-                    self._pool.put(replica)
-                    self._replica_plans.append(layer_plans)
+                    self._enroll_replica(replica, layer_plans)
                 self._installed = True
         return self
 
@@ -360,6 +406,73 @@ class ThreadWorkerPool(WorkerPool):
                 for uid, n in sorted(self._worker_requests.items())
             ]
 
+    # ------------------------------------------------------------------ #
+    # Zero-downtime operations: hot plan-swap and elastic resize
+    # ------------------------------------------------------------------ #
+    def utilization(self) -> float:
+        """Fraction of replicas checked out right now (autoscaler signal)."""
+        with self._state_lock:
+            if not self._installed:
+                return 0.0
+            total = self.workers
+        busy = total - self._pool.qsize()
+        return max(0.0, min(1.0, busy / max(total, 1)))
+
+    def scale_to(self, n: int) -> int:
+        """Resize to ``n`` replicas; returns the delta applied.
+
+        Scale-ups build fresh replicas (weights aliased, plan shared);
+        scale-downs wait for busy replicas to come home, then drop them.
+        Dropped replicas' layer-plan clones stay behind so :meth:`stats`
+        keeps their accumulated counters.
+        """
+        if n <= 0:
+            raise ValueError(f"workers must be positive, got {n}")
+        with self._state_lock:
+            delta = n - self.workers
+            if not self._installed:
+                self.workers = n
+                return delta
+            for _ in range(max(0, delta)):
+                replica, layer_plans = self._build_replica()
+                self._enroll_replica(replica, layer_plans)
+            for _ in range(max(0, -delta)):
+                replica = self._pool.get()  # waits for in-flight forwards
+                with self._stats_lock:
+                    uid = self._replica_uid.pop(id(replica), None)
+                    if uid is not None:
+                        self._current_uids.discard(uid)
+            self.workers = n
+            return delta
+
+    def swap_plan(self, new_plan: ExecutionPlan, canary=None) -> int:
+        """Replace the serving plan across every replica.
+
+        A probe replica is built on ``new_plan`` first and — when
+        ``canary`` is given — validated *before* any serving replica is
+        touched, so a rejected plan never serves a request.  On success
+        the pool quiesces (waits for in-flight forwards), retires the old
+        replicas, and enrolls a fresh generation on the new plan, with
+        the probe replica recycled as the first worker.  Old replicas'
+        counters stay merged into :meth:`stats`.
+        """
+        self.install()
+        with self._state_lock:
+            probe, probe_plans = self._build_replica(new_plan)
+            if canary is not None:
+                canary(lambda x: probe(np.asarray(x)))  # raising rejects the swap
+            old = [self._pool.get() for _ in range(self.workers)]
+            with self._stats_lock:
+                for replica in old:
+                    self._replica_uid.pop(id(replica), None)
+                self._current_uids.clear()
+            self.plan = new_plan
+            self._enroll_replica(probe, probe_plans)
+            for _ in range(self.workers - 1):
+                replica, layer_plans = self._build_replica()
+                self._enroll_replica(replica, layer_plans)
+            return self.workers
+
     def reset_stats(self) -> None:
         with self._stats_lock:
             self._batches = self._samples = 0
@@ -385,7 +498,10 @@ def _pool_worker_main(conn, model_payload: bytes, spec: dict, chaos=None) -> Non
     to stop.  Every ``run`` reply carries the worker's cumulative
     per-layer counters so the parent can merge :meth:`stats` without an
     extra round-trip.  ``("ping", None)`` answers ``("ok", None)`` — the
-    supervisor's idle health check.
+    supervisor's idle health check.  ``("swap", spec)`` hot-swaps the
+    worker onto a *new* shared plan spec (attach second segment, install,
+    detach old segment), and ``("probe", batch)`` runs one untracked
+    canary forward — the two halves of the zero-downtime plan rollout.
 
     ``chaos`` (a :class:`~repro.runtime.chaos.ChaosSpec`) injects
     deterministic faults — crash/hang/slow at exact request counts — for
@@ -412,6 +528,7 @@ def _pool_worker_main(conn, model_payload: bytes, spec: dict, chaos=None) -> Non
             conn.close()
         return
     served = 0
+    swaps = 0
     try:
         conn.send(("ready", None))
         while True:
@@ -437,6 +554,41 @@ def _pool_worker_main(conn, model_payload: bytes, spec: dict, chaos=None) -> Non
                         conn.send(("err", (exc, tb)))
                     except Exception:  # unpicklable exception object
                         conn.send(("err", (RuntimeError(f"{type(exc).__name__}: {exc}"), tb)))
+            elif cmd == "probe":
+                # Canary forward: same kernels as "run", but no chaos
+                # injection, no served-count bump, no counter shipping —
+                # a swap's validation traffic must not perturb
+                # fault-injection schedules or serving telemetry.
+                try:
+                    conn.send(("ok", model(payload)))
+                except Exception as exc:
+                    tb = traceback.format_exc()
+                    conn.send(("err", (RuntimeError(f"{type(exc).__name__}: {exc}"), tb)))
+            elif cmd == "swap":
+                # Hot plan-swap: attach the new spec (second segment),
+                # install it over the old plan, then detach the old
+                # segment.  On any failure the old plan is reinstalled and
+                # keeps serving — the parent decides whether to roll back
+                # the fleet.
+                swaps += 1
+                if chaos is not None:
+                    chaos.on_swap(swaps)
+                try:
+                    new_plan, new_store = attach_plan(payload, cache=OperandCache())
+                    new_plan.install(model)
+                except Exception as exc:
+                    tb = traceback.format_exc()
+                    plan.install(model)  # a partial install must not serve
+                    conn.send(("err", (RuntimeError(f"{type(exc).__name__}: {exc}"), tb)))
+                else:
+                    old_plan, old_store = plan, store
+                    plan, store = new_plan, new_store
+                    # Drop the old plan's operand views *before* detaching
+                    # the old segment (same discipline as shutdown below).
+                    del new_plan, old_plan
+                    if old_store is not None:
+                        old_store.close()
+                    conn.send(("ok", None))
             elif cmd == "ping":
                 conn.send(("ok", None))
             elif cmd == "reset":
@@ -557,6 +709,11 @@ class ProcessWorkerPool(WorkerPool):
         self._installed = False
         self._state_lock = threading.Lock()
         self._stats_lock = threading.Lock()
+        # Zero-downtime operations: one swap/scale at a time, and the
+        # supervisor stands down while one owns the worker fleet (a
+        # respawn mid-roll would come up on an ambiguous plan spec).
+        self._ops_lock = threading.Lock()
+        self._ops_pause = threading.Event()
         self._live = 0  # workers that will eventually return to the free queue
         self._uids = itertools.count()
         self._batches = 0
@@ -798,6 +955,8 @@ class ProcessWorkerPool(WorkerPool):
                 return
             if woken:
                 self._wake.clear()
+            if self._ops_pause.is_set():
+                continue  # a swap/scale owns the fleet right now
             if self.health_interval > 0 and not woken:
                 self._health_check()
             if self.respawn:
@@ -929,6 +1088,270 @@ class ProcessWorkerPool(WorkerPool):
             self._counter_snapshots[worker.uid] = counters
             self._worker_requests[worker.uid] = self._worker_requests.get(worker.uid, 0) + 1
         return y
+
+    # ------------------------------------------------------------------ #
+    # Zero-downtime operations: hot plan-swap and elastic resize
+    # ------------------------------------------------------------------ #
+    def utilization(self) -> float:
+        """Fraction of live workers busy right now (autoscaler signal)."""
+        with self._stats_lock:
+            live = self._live
+        if live <= 0:
+            return 0.0
+        busy = live - self._free.qsize()
+        return max(0.0, min(1.0, busy / live))
+
+    def _probe(self, worker: _ProcWorker, x: np.ndarray) -> np.ndarray:
+        """One forward on a specific held-out worker (canary traffic).
+
+        Bypasses the free queue and the stats counters; a worker death
+        here raises :class:`WorkerCrashError` after retiring it.
+        """
+        pid = worker.process.pid
+        timeout = self.request_timeout if self.request_timeout else self._start_timeout
+        try:
+            worker.conn.send(("probe", np.asarray(x)))
+            if not worker.conn.poll(timeout):
+                raise _WorkerTimeout()
+            tag, payload = worker.conn.recv()
+        except (EOFError, BrokenPipeError, OSError, _WorkerTimeout) as exc:
+            self._retire(worker)
+            cause = None if isinstance(exc, _WorkerTimeout) else exc
+            raise WorkerCrashError(
+                f"process-pool worker pid {pid} died mid-canary"
+            ) from cause
+        if tag == "err":
+            exc, tb = payload if isinstance(payload, tuple) else (payload, None)
+            if tb is not None:
+                exc.__cause__ = RemoteTraceback(tb)
+            raise exc
+        return payload
+
+    def _swap_one(self, worker: _ProcWorker, spec: dict) -> None:
+        """Swap one held-out worker onto ``spec``.
+
+        Returns on an acknowledged swap.  Raises
+        :class:`WorkerCrashError` (worker retired) when the worker died
+        mid-swap, or :class:`PlanSwapError` (worker healthy, still on its
+        previous plan — the caller owns returning it to the free queue)
+        when the worker rejected the spec.
+        """
+        pid = worker.process.pid
+        try:
+            worker.conn.send(("swap", spec))
+            if not worker.conn.poll(self._start_timeout):
+                raise _WorkerTimeout()
+            tag, payload = worker.conn.recv()
+        except (EOFError, BrokenPipeError, OSError, _WorkerTimeout) as exc:
+            self._retire(worker)
+            cause = None if isinstance(exc, _WorkerTimeout) else exc
+            raise WorkerCrashError(
+                f"process-pool worker pid {pid} died mid-swap"
+            ) from cause
+        if tag == "err":
+            exc, tb = payload if isinstance(payload, tuple) else (payload, None)
+            err = PlanSwapError(
+                f"process-pool worker pid {pid} failed to attach the new plan: {exc}"
+            )
+            if tb is not None:
+                err.__cause__ = RemoteTraceback(tb)
+            raise err
+
+    def _checkout_for_swap(self, done: set[int]) -> _ProcWorker | None:
+        """Check out one live worker whose uid is not in ``done``.
+
+        Returns ``None`` once every live worker is in ``done`` (the roll
+        is complete — workers retired mid-roll drop out of ``_procs`` and
+        stop counting).  Already-handled workers drawn by accident go
+        straight back to the free queue.
+        """
+        while True:
+            if self._closing.is_set():
+                raise PlanSwapError("pool is closing; plan swap abandoned")
+            with self._stats_lock:
+                pending = [u for u in self._procs if u not in done]
+            if not pending:
+                return None
+            try:
+                worker = self._free.get(timeout=0.5)
+            except queue.Empty:
+                continue  # pending workers are busy serving; wait them out
+            if worker.uid in done or not self._worker_alive.get(worker.uid, False):
+                self._free.put(worker)
+                # Cap the put/get spin while only handled workers are idle
+                # and a pending one is mid-request.
+                time.sleep(0.005)
+                continue
+            return worker
+
+    def swap_plan(self, new_plan: ExecutionPlan, canary=None) -> int:
+        """Roll every worker onto ``new_plan`` with zero downtime.
+
+        The new plan is exported into a *second* shared segment; workers
+        move over one at a time (the rest keep serving the old plan), so
+        admission never pauses.  After the first worker holds the new
+        plan, ``canary(run_fn)`` — when given — validates it with real
+        forwards on that worker; the canary raising anything rolls every
+        swapped worker back to the old plan, unlinks the new segment, and
+        re-raises.  A worker *dying* mid-swap is a worker failure, not a
+        plan failure: it is retired, the roll continues, and the
+        supervisor respawns the replacement from whichever spec commits.
+        The old segment is unlinked only after the last worker has
+        detached from it.  Returns the number of workers swapped.
+        """
+        from .planio import share_plan
+
+        self.install()
+        with self._ops_lock:
+            new_store, new_spec = share_plan(new_plan)
+            old_spec, old_store = self._spec, self._store
+            self._ops_pause.set()
+            swapped: set[int] = set()
+            try:
+                canaried = canary is None
+                while True:
+                    worker = self._checkout_for_swap(swapped)
+                    if worker is None:
+                        break
+                    try:
+                        self._swap_one(worker, new_spec)
+                    except WorkerCrashError:
+                        if not canaried and not swapped:
+                            # The would-be canary worker died before the
+                            # plan was ever judged: reject rather than
+                            # roll out an unvalidated plan.
+                            raise PlanSwapError(
+                                "worker died before the canary could "
+                                "validate the new plan"
+                            ) from None
+                        continue
+                    swapped.add(worker.uid)
+                    if not canaried:
+                        try:
+                            canary(lambda x: self._probe(worker, x))
+                        except WorkerCrashError:
+                            swapped.discard(worker.uid)
+                            raise PlanSwapError(
+                                "canary worker died before validating "
+                                "the new plan"
+                            ) from None
+                        except BaseException:
+                            self._free.put(worker)
+                            raise
+                        canaried = True
+                    self._free.put(worker)
+            except BaseException:
+                self._rollback_swapped(swapped, old_spec)
+                if new_store is not None:
+                    new_store.unlink()
+                raise
+            else:
+                with self._state_lock:
+                    self.plan = new_plan
+                    self._spec = new_spec
+                    self._store = new_store
+                if old_store is not None:
+                    # Every worker detached inside its swap command; the
+                    # old segment has no readers left.
+                    old_store.unlink()
+                return len(swapped)
+            finally:
+                self._ops_pause.clear()
+                self._wake.set()  # let the supervisor top up any deficit
+
+    def _rollback_swapped(self, swapped: set[int], old_spec: dict | None) -> None:
+        """Best-effort return of already-swapped workers to the old plan.
+
+        A worker that dies (or errors) rolling back is retired; the
+        supervisor respawns it from the still-committed old spec.
+        """
+        remaining = set(swapped)
+        while remaining and not self._closing.is_set():
+            with self._stats_lock:
+                remaining &= set(self._procs)
+            if not remaining:
+                return
+            try:
+                worker = self._free.get(timeout=0.5)
+            except queue.Empty:
+                continue
+            if worker.uid not in remaining:
+                self._free.put(worker)
+                time.sleep(0.005)
+                continue
+            remaining.discard(worker.uid)
+            try:
+                self._swap_one(worker, old_spec)
+            except WorkerCrashError:
+                continue
+            except PlanSwapError:
+                # Could not restore the old plan either: retire it; a
+                # respawn from the old spec replaces it.
+                self._retire(worker)
+                continue
+            self._free.put(worker)
+
+    def _retire_idle(self, worker: _ProcWorker) -> None:
+        """Gracefully stop one idle worker (scale-down, not a death:
+        ``deaths`` stays untouched and the breaker never sees it)."""
+        with self._stats_lock:
+            if not self._worker_alive.get(worker.uid, False):
+                return
+            self._worker_alive[worker.uid] = False
+            self._live -= 1
+            self._procs.pop(worker.uid, None)
+        try:
+            worker.conn.send(("stop", None))
+            if worker.conn.poll(5.0):
+                worker.conn.recv()  # the stop ack
+        except (BrokenPipeError, EOFError, OSError):
+            pass
+        worker.conn.close()
+        worker.process.join(timeout=10.0)
+        if worker.process.is_alive():  # pragma: no cover - stuck worker
+            worker.process.terminate()
+            worker.process.join(timeout=5.0)
+
+    def scale_to(self, n: int) -> int:
+        """Resize the pool to ``n`` workers; returns the delta applied.
+
+        Scale-ups start workers directly from the already-shared plan
+        segment — *not* through the respawn path, so elastic growth never
+        ages the crash-loop breaker's window.  Scale-downs retire idle
+        workers gracefully, waiting for busy ones to finish their
+        in-flight forward first.  On a pool that is not installed yet the
+        target is recorded and applied by the next :meth:`install`.
+        """
+        if n <= 0:
+            raise ValueError(f"workers must be positive, got {n}")
+        with self._ops_lock:
+            with self._state_lock:
+                installed = self._installed
+            if not installed:
+                delta = n - self.workers
+                self.workers = n
+                return delta
+            self._ops_pause.set()
+            try:
+                before = self.workers
+                self.workers = n
+                while not self._closing.is_set():
+                    with self._stats_lock:
+                        live = self._live
+                    if live < n:
+                        self._enroll(self._start_worker())
+                    elif live > n:
+                        try:
+                            worker = self._free.get(timeout=0.5)
+                        except queue.Empty:
+                            continue  # busy workers come home eventually
+                        self._retire_idle(worker)
+                    else:
+                        break
+                return n - before
+            finally:
+                self._ops_pause.clear()
+                self._wake.set()
 
     # ------------------------------------------------------------------ #
     def stats(self) -> ExecutorStats:

@@ -50,6 +50,7 @@ import time
 from concurrent.futures import Future
 from concurrent.futures import TimeoutError as _FutureTimeout  # builtin alias on 3.11+
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
@@ -63,21 +64,36 @@ from .metrics import (
     export_executor_stats,
     merge_snapshots,
 )
-from .pool import PoolDegradedError, WorkerCrashError, WorkerPool
+from .pool import PlanSwapError, PoolDegradedError, WorkerCrashError, WorkerPool
 from .tracing import RequestTrace, TraceBuffer
 
-__all__ = ["DeadlineExceeded", "QueueFull", "ServingEngine"]
+__all__ = ["DeadlineExceeded", "QueueFull", "SwapRejected", "ServingEngine"]
 
 
 class QueueFull(RuntimeError):
     """Admission control rejected a submit: the request queue is at its
-    ``max_queue`` bound.  Shedding load at the door beats queueing work
-    the server cannot finish inside any useful latency budget."""
+    ``max_queue`` bound (or the engine is draining).  Shedding load at the
+    door beats queueing work the server cannot finish inside any useful
+    latency budget."""
 
 
 class DeadlineExceeded(TimeoutError):
     """The request's deadline expired before it was dispatched; it was
     dropped without being computed."""
+
+
+class SwapRejected(RuntimeError):
+    """A hot plan-swap was rejected (and rolled back if it had begun).
+
+    ``reason`` carries the verdict: a wrong-weights artifact, a canary
+    whose outputs diverge from the live plan, a canary error/latency
+    guard, a worker that failed to attach, or a failed post-swap check.
+    The engine keeps serving the *old* plan in every case.
+    """
+
+    def __init__(self, reason: str) -> None:
+        super().__init__(reason)
+        self.reason = reason
 
 
 @dataclass
@@ -182,6 +198,25 @@ class ServingEngine:
         # sentinels (and is served) or raises — never a stranded future.
         self._state_lock = threading.Lock()
         self._stats_lock = threading.Lock()
+        # Queue depth, counted exactly: Queue.qsize() is read outside the
+        # workers' dequeue path, so an admission bound checked against it
+        # can overshoot under contention.  This counter moves under its own
+        # lock at every enqueue/dequeue, so the max_queue bound, the
+        # autoscaler's depth signal, and the tasd_serve_queue_depth gauge
+        # all see the same exact value.
+        self._depth = 0
+        self._depth_lock = threading.Lock()
+        # Drain machinery: _pending counts admitted-but-unresolved requests;
+        # its condition wakes drain() when the last one resolves.  While
+        # _draining is set, submit() sheds at the door and /healthz reports
+        # "draining".
+        self._pending = 0
+        self._pending_cond = threading.Condition()
+        self._draining = False
+        # Hot-swap machinery: one swap at a time, and the most recent
+        # request input is retained as the default canary batch.
+        self._swap_lock = threading.Lock()
+        self._last_input: "np.ndarray | None" = None
         self._request_stats: list[RequestStats] = []
         self._started_at = 0.0
         self._stopped_at = 0.0
@@ -238,6 +273,23 @@ class ServingEngine:
                 "tasd_serve_fallback_batches_total",
                 "Micro-batches served by the in-process fallback executor",
             ).labels()
+            self._m_swaps = metrics.counter(
+                "tasd_plan_swaps_total", "Hot plan-swaps committed"
+            ).labels()
+            self._m_rollbacks = metrics.counter(
+                "tasd_swap_rollbacks_total",
+                "Hot plan-swaps rejected or rolled back",
+            ).labels()
+            self._m_scale_events = metrics.counter(
+                "tasd_pool_scale_events_total", "Autoscale resize events applied"
+            ).labels()
+            self._m_target_workers = metrics.gauge(
+                "tasd_pool_target_workers", "Current worker-count target"
+            ).labels()
+            self._m_target_workers.set(getattr(executor, "workers", workers))
+            self._m_drain = metrics.histogram(
+                "tasd_serve_drain_seconds", "Graceful-drain duration"
+            ).labels()
 
     # ------------------------------------------------------------------ #
     def start(self) -> "ServingEngine":
@@ -255,6 +307,7 @@ class ServingEngine:
                 self._request_stats.clear()
             self._stopped_at = 0.0
             self._started_at = time.perf_counter()
+            self._draining = False
             self._running = True
         for i in range(self.workers):
             t = threading.Thread(target=self._worker_loop, name=f"serve-worker-{i}", daemon=True)
@@ -273,16 +326,36 @@ class ServingEngine:
             t.join()
         self._threads.clear()
         # Safety net: a request submitted concurrently with stop() may still
-        # sit behind the sentinels.  Serve leftovers synchronously so no
-        # future is ever stranded.
+        # sit behind the sentinels.  Resolve leftovers synchronously so no
+        # future is ever stranded — but compute only the ones someone is
+        # still waiting for: a cancelled future is skipped outright, and an
+        # expired deadline fails typed instead of burning a forward on an
+        # answer nobody will read.  Survivors are re-batched by sample
+        # shape, so a burst of stranded same-shape requests drains in a few
+        # forwards rather than one each.
+        now = time.perf_counter()
+        survivors: dict[tuple, list[_Request]] = {}
         while True:
             try:
                 leftover = self._queue.get_nowait()
             except queue.Empty:
                 break
-            if leftover is not None:
-                leftover.collected_at = time.perf_counter()
-                self._execute_batch([leftover])
+            if leftover is None:  # surplus shutdown sentinel
+                continue
+            self._dec_depth()
+            leftover.collected_at = now
+            if not leftover.future.set_running_or_notify_cancel():
+                self._trace_failure(leftover, now, now, 1, "cancelled")
+                self._request_resolved()
+                continue
+            if leftover.deadline_at and now > leftover.deadline_at:
+                self._fail_deadline(leftover, now, 1)
+                continue
+            key = (leftover.x.shape[1:], leftover.x.dtype)
+            survivors.setdefault(key, []).append(leftover)
+        for batch in survivors.values():
+            for chunk_start in range(0, len(batch), self.max_batch):
+                self._run_batch(batch[chunk_start : chunk_start + self.max_batch], self.max_retries)
         with self._state_lock:
             self._stopped_at = time.perf_counter()
 
@@ -311,15 +384,30 @@ class ServingEngine:
         deadline_at = now + deadline if deadline is not None else 0.0
         request = _Request(next(self._ids), x, Future(), now, deadline_at=deadline_at)
         with self._state_lock:
-            if not self._running:
-                raise RuntimeError("serving engine is not running; call start() first")
-            if self.max_queue is not None and self._queue.qsize() >= self.max_queue:
+            # A drained engine stays typed: drain() promises QueueFull to
+            # late submitters, even after the wind-down finished and the
+            # engine stopped.
+            if self._draining:
                 if self.metrics is not None:
                     self._m_rejected.inc()
                 raise QueueFull(
-                    f"request queue is at its max_queue bound ({self.max_queue}); "
-                    "shed load, retry later, or raise max_queue"
+                    "engine is draining: admitted work is being finished, "
+                    "new requests are rejected"
                 )
+            if not self._running:
+                raise RuntimeError("serving engine is not running; call start() first")
+            with self._depth_lock:
+                if self.max_queue is not None and self._depth >= self.max_queue:
+                    if self.metrics is not None:
+                        self._m_rejected.inc()
+                    raise QueueFull(
+                        f"request queue is at its max_queue bound ({self.max_queue}); "
+                        "shed load, retry later, or raise max_queue"
+                    )
+                self._depth += 1
+            with self._pending_cond:
+                self._pending += 1
+            self._last_input = x  # default canary batch for swap_plan()
             self._queue.put(request)
         return request.future
 
@@ -340,6 +428,263 @@ class ServingEngine:
             raise
 
     # ------------------------------------------------------------------ #
+    # Zero-downtime operations: drain, hot plan-swap, elastic resize
+    # ------------------------------------------------------------------ #
+    def drain(self, timeout: float | None = None) -> bool:
+        """Gracefully wind the engine down: finish everything admitted,
+        admit nothing new, then stop.
+
+        The moment drain begins, :meth:`submit` raises :class:`QueueFull`
+        and ``/healthz`` reports ``"draining"`` (still HTTP 200 — the
+        server is healthy, just leaving).  Every request admitted before
+        that point resolves: queued work is dispatched, in-flight work
+        completes.  ``timeout`` bounds the wait in seconds (``None`` =
+        wait forever); on expiry the engine stops anyway and the
+        still-unresolved requests are settled by :meth:`stop`'s leftover
+        drain.  Returns ``True`` when every admitted request resolved
+        within the budget.
+        """
+        with self._state_lock:
+            if not self._running:
+                return True
+            self._draining = True
+        t0 = time.perf_counter()
+        deadline = t0 + timeout if timeout is not None else None
+        with self._pending_cond:
+            while self._pending > 0:
+                remaining = None if deadline is None else deadline - time.perf_counter()
+                if remaining is not None and remaining <= 0:
+                    break
+                self._pending_cond.wait(min(remaining, 0.5) if remaining is not None else 0.5)
+            drained = self._pending <= 0
+        self.stop()
+        if self.metrics is not None:
+            self._m_drain.observe(time.perf_counter() - t0)
+        return drained
+
+    def swap_plan(
+        self,
+        plan_or_path,
+        canary: "np.ndarray | None" = None,
+        *,
+        rtol: float = 1e-6,
+        atol: float = 1e-8,
+        max_latency_factor: float | None = None,
+    ) -> dict:
+        """Hot-swap the serving plan with canary validation and rollback.
+
+        ``plan_or_path`` is a compiled
+        :class:`~repro.runtime.plan.ExecutionPlan` or the path of a saved
+        artifact (loaded through :func:`~repro.runtime.planio.load_plan`,
+        digests verified).  The rollout never pauses serving:
+
+        1. **identity gate** — the candidate's per-layer weight
+           fingerprint must match the live plan's (same weights,
+           different layout/tuning); a wrong-weights artifact is rejected
+           before any worker is touched;
+        2. **canary** — the pool moves *one* worker onto the new plan and
+           runs the canary batch (``canary=``, or the most recently
+           served input) on it; outputs must ``allclose`` the live
+           plan's, the forward must not raise, and — when
+           ``max_latency_factor`` is set — must not be slower than that
+           factor times the live plan's canary time;
+        3. **roll** — remaining workers move over one at a time, the old
+           shared segment is unlinked after the last one detaches;
+        4. **post-swap check** — the canary batch re-runs through the
+           normal dispatch path; a divergence rolls everything back.
+
+        Any rejection raises :class:`SwapRejected` (``.reason`` says
+        why), increments ``tasd_swap_rollbacks_total``, and leaves the
+        old plan serving.  Success increments ``tasd_plan_swaps_total``
+        and returns a report dict.
+        """
+        from .planio import PlanDigestError, PlanFormatError, load_plan, plan_fingerprint
+
+        def reject(reason: str, cause: "Exception | None" = None):
+            if self.metrics is not None:
+                self._m_rollbacks.inc()
+            raise SwapRejected(reason) from cause
+
+        with self._swap_lock:
+            if self._degraded:
+                reject(
+                    "engine is degraded (serving through the in-process "
+                    "fallback); recover the pool before swapping plans"
+                )
+            old_plan = getattr(self.executor, "plan", None)
+            swap_fn = getattr(self.executor, "swap_plan", None)
+            if old_plan is None or swap_fn is None:
+                reject(f"{type(self.executor).__name__} cannot hot-swap plans")
+            if isinstance(plan_or_path, (str, Path)):
+                model = getattr(self.executor, "model", None)
+                try:
+                    new_plan = load_plan(plan_or_path, model)
+                except (OSError, PlanFormatError, PlanDigestError) as exc:
+                    reject(f"artifact rejected: {exc}", exc)
+            else:
+                new_plan = plan_or_path
+            try:
+                if plan_fingerprint(new_plan) != plan_fingerprint(old_plan):
+                    reject(
+                        "candidate plan was compiled from different weights "
+                        "than the live plan (fingerprint mismatch); this is "
+                        "the wrong artifact for this model"
+                    )
+            except PlanFormatError as exc:
+                reject(f"candidate plan's weight identity is unrecoverable: {exc}", exc)
+            canary_x = canary if canary is not None else self._last_input
+            if canary_x is None:
+                reject(
+                    "no canary batch available: pass canary= or serve at "
+                    "least one request before swapping"
+                )
+            canary_x = np.asarray(canary_x)
+            try:
+                t0 = time.perf_counter()
+                reference = self.executor.run(canary_x)
+                ref_elapsed = time.perf_counter() - t0
+            except Exception as exc:
+                reject(f"live plan failed the canary batch; swap aborted: {exc}", exc)
+
+            def check(run_fn) -> None:
+                t1 = time.perf_counter()
+                try:
+                    y = run_fn(canary_x)
+                except SwapRejected:
+                    raise
+                except Exception as exc:
+                    raise SwapRejected(f"canary execution failed: {exc}") from exc
+                elapsed = time.perf_counter() - t1
+                if np.asarray(y).shape != np.asarray(reference).shape or not np.allclose(
+                    y, reference, rtol=rtol, atol=atol
+                ):
+                    raise SwapRejected(
+                        "canary outputs diverge from the live plan beyond "
+                        f"rtol={rtol}/atol={atol}; the artifact does not "
+                        "compute the same function"
+                    )
+                if (
+                    max_latency_factor is not None
+                    and ref_elapsed > 0
+                    and elapsed > max_latency_factor * ref_elapsed
+                ):
+                    raise SwapRejected(
+                        f"canary latency {elapsed * 1e3:.1f} ms exceeds "
+                        f"{max_latency_factor}x the live plan's "
+                        f"{ref_elapsed * 1e3:.1f} ms"
+                    )
+
+            try:
+                swapped = swap_fn(new_plan, canary=check)
+            except SwapRejected:
+                if self.metrics is not None:
+                    self._m_rollbacks.inc()
+                raise
+            except (PlanSwapError, WorkerCrashError, PoolDegradedError) as exc:
+                reject(f"swap rolled back: {exc}", exc)
+            # Post-swap check through the normal dispatch path: catches a
+            # plan that canaries clean on one worker but misbehaves once
+            # the fleet serves it (e.g. an attach-order dependence).
+            post_error: "Exception | None" = None
+            try:
+                post_ok = np.allclose(
+                    self.executor.run(canary_x), reference, rtol=rtol, atol=atol
+                )
+            except Exception as exc:
+                post_ok, post_error = False, exc
+            if not post_ok:
+                try:
+                    swap_fn(old_plan)  # roll the fleet back, no canary needed
+                except Exception:
+                    pass  # supervisor respawns onto whichever spec committed
+                reject(
+                    "post-swap check failed: the swapped fleet no longer "
+                    "reproduces the canary reference"
+                    + (f" ({post_error})" if post_error is not None else ""),
+                    post_error,
+                )
+            if self.metrics is not None:
+                self._m_swaps.inc()
+            return {
+                "swapped_workers": swapped,
+                "canary_samples": int(canary_x.shape[0]),
+                "reference_latency": ref_elapsed,
+            }
+
+    def scale_to(self, n: int) -> int:
+        """Resize serving capacity to ``n`` workers; returns the delta.
+
+        Scales the pool (when it supports :meth:`WorkerPool.scale_to`)
+        and the engine's own drain threads together, so queue pickup
+        concurrency tracks pool concurrency.  Emits
+        ``tasd_pool_scale_events_total`` and the
+        ``tasd_pool_target_workers`` gauge.  This is the
+        :class:`~repro.runtime.autoscale.Autoscaler`'s actuator, and is
+        safe to call directly.
+        """
+        if n <= 0:
+            raise ValueError(f"workers must be positive, got {n}")
+        pool_fn = getattr(self.executor, "scale_to", None)
+        if pool_fn is not None:
+            try:
+                pool_fn(n)
+            except NotImplementedError:
+                pass  # fixed-size substrate: scale only the drain threads
+        with self._state_lock:
+            delta = n - self.workers
+            self.workers = n
+            running = self._running
+        if running and delta != 0:
+            self._threads = [t for t in self._threads if t.is_alive()]
+            thread_delta = n - len(self._threads)
+            for i in range(max(0, thread_delta)):
+                t = threading.Thread(
+                    target=self._worker_loop,
+                    name=f"serve-worker-scaled-{len(self._threads) + i}",
+                    daemon=True,
+                )
+                t.start()
+                self._threads.append(t)
+            for _ in range(max(0, -thread_delta)):
+                # One sentinel retires exactly one drain thread; requests
+                # queued behind it are picked up by the survivors.
+                self._queue.put(None)
+        if self.metrics is not None and delta != 0:
+            self._m_scale_events.inc()
+            self._m_target_workers.set(n)
+        return delta
+
+    # ------------------------------------------------------------------ #
+    def _dec_depth(self) -> None:
+        """One request left the queue (worker pickup or shutdown drain)."""
+        with self._depth_lock:
+            self._depth -= 1
+
+    @property
+    def running(self) -> bool:
+        """True while the engine accepts and dispatches work."""
+        return self._running
+
+    @property
+    def queue_depth(self) -> int:
+        """Exact number of requests waiting in the queue right now.
+
+        This is the autoscaler's depth signal and the value behind the
+        ``tasd_serve_queue_depth`` gauge and the ``max_queue`` admission
+        bound — all three read the same counter.
+        """
+        with self._depth_lock:
+            return self._depth
+
+    def _request_resolved(self) -> None:
+        """One admitted request reached a terminal state (result set,
+        failed, deadline-dropped, or cancelled-and-skipped); wakes
+        :meth:`drain` when the last one lands."""
+        with self._pending_cond:
+            self._pending -= 1
+            if self._pending <= 0:
+                self._pending_cond.notify_all()
+
     def _gather_batch(self, first: _Request) -> tuple[list[_Request], "_Request | None"]:
         """Coalesce compatible requests behind ``first`` within the window.
 
@@ -362,6 +707,7 @@ class ServingEngine:
             if req is None:  # shutdown sentinel: hand it to another worker
                 self._queue.put(None)
                 break
+            self._dec_depth()
             req.collected_at = time.perf_counter()
             if req.x.shape[1:] != first.x.shape[1:] or req.x.dtype != first.x.dtype:
                 # Mismatched sample shape or dtype: concatenating would
@@ -385,6 +731,7 @@ class ServingEngine:
                     continue
                 if first is None:
                     return
+                self._dec_depth()
                 first.collected_at = time.perf_counter()
             batch, carry = self._gather_batch(first)
             self._execute_batch(batch)
@@ -398,6 +745,7 @@ class ServingEngine:
                 # infer(timeout=) gave up on this request: skip it here
                 # instead of computing an answer nobody will collect.
                 self._trace_failure(req, now, now, len(batch), "cancelled")
+                self._request_resolved()
                 continue
             if req.deadline_at and now > req.deadline_at:
                 self._fail_deadline(req, now, len(batch))
@@ -498,6 +846,7 @@ class ServingEngine:
                 self._m_queue_wait.observe(stats.queue_time)
         for req, lo, hi in zip(batch, offsets[:-1], offsets[1:]):
             req.future.set_result(outputs[lo:hi])
+            self._request_resolved()
             self._traces.record(
                 RequestTrace.from_timestamps(
                     request_id=req.request_id,
@@ -552,6 +901,7 @@ class ServingEngine:
             f"{now - req.deadline_at:.3f}s before dispatch"
         )
         req.future.set_exception(exc)
+        self._request_resolved()
         self._trace_failure(req, now, now, batch_size, "DeadlineExceeded: dropped before dispatch")
 
     def _fail_batch(self, batch: list[_Request], exc: Exception, dispatched_at: float) -> None:
@@ -561,6 +911,7 @@ class ServingEngine:
         label = f"{type(exc).__name__}: {exc}"
         for req in batch:
             req.future.set_exception(exc)
+            self._request_resolved()
             self._trace_failure(req, dispatched_at, failed_at, len(batch), label)
 
     def _trace_failure(
@@ -610,18 +961,26 @@ class ServingEngine:
         return list(fn()) if fn is not None else []
 
     def healthz(self) -> tuple[bool, dict]:
-        """Liveness with degradation: ``ok`` / ``degraded`` / ``dead``.
+        """Liveness with degradation: ``ok`` / ``draining`` / ``degraded``
+        / ``dead``.
 
-        ``ok`` and ``degraded`` both scrape as HTTP 200 — a degraded server
-        is still answering, just without its pool (in-process fallback, or
-        mid-respawn with no worker up right now) — while ``dead`` (stopped,
-        or collapsed with no fallback to serve through) scrapes as 503.
+        ``ok``, ``draining``, and ``degraded`` all scrape as HTTP 200 — a
+        draining server is finishing admitted work before a planned stop,
+        and a degraded one is still answering, just without its pool
+        (in-process fallback, or mid-respawn with no worker up right now)
+        — while ``dead`` (stopped, or collapsed with no fallback to serve
+        through) scrapes as 503.
         """
         workers = self.worker_stats()
         alive = sum(1 for w in workers if w.alive)
         pool_degraded = self._degraded or bool(getattr(self.executor, "degraded", False))
         if not self._running:
             status = "dead"
+        elif self._draining:
+            # Still healthy — finishing admitted work, refusing new work.
+            # Load balancers read this as "stop routing here" while the
+            # scrape stays 200 (the server is leaving, not failing).
+            status = "draining"
         elif pool_degraded:
             can_fallback = self._degraded and self._fallback_pool is not None
             if not can_fallback:
@@ -640,7 +999,7 @@ class ServingEngine:
             "running": self._running,
             "workers_alive": alive,
             "workers_total": len(workers),
-            "queue_depth": self._queue.qsize(),
+            "queue_depth": self.queue_depth,
             "fallback_active": self._fallback_pool is not None and self._degraded,
         }
 
@@ -684,7 +1043,7 @@ class ServingEngine:
             alive_g.labels(worker=str(w.uid)).set(1.0 if w.alive else 0.0)
             served_c.labels(worker=str(w.uid)).inc(w.requests)
         registry.gauge("tasd_serve_queue_depth", "Requests waiting in the queue").set(
-            self._queue.qsize()
+            self.queue_depth
         )
         registry.gauge("tasd_serve_running", "1 while the engine accepts requests").set(
             1.0 if self._running else 0.0

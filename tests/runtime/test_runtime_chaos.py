@@ -28,14 +28,17 @@ from repro.runtime import (
     ChaosSpec,
     DeadlineExceeded,
     PlanExecutor,
+    PlanSwapError,
     PoolDegradedError,
     ProcessWorkerPool,
     QueueFull,
     ServingEngine,
+    SwapRejected,
     WorkerCrashError,
     compile_plan,
     is_poisoned,
     poison_batch,
+    skewed_plan,
 )
 from repro.tasder.transform import TASDTransform
 
@@ -414,3 +417,100 @@ class TestDeadlinesAndAdmission:
             ServingEngine(PlanExecutor(model, plan), max_retries=-1)
         with pytest.raises(ValueError, match="fallback"):
             ServingEngine(PlanExecutor(model, plan), fallback="bogus")
+
+
+def _recompiled_plan(model):
+    """A fresh compilation over the live model's weights (swap candidate)."""
+    transform = TASDTransform(
+        weight_configs={name: CFG for name, _ in gemm_layers(model)}
+    )
+    return compile_plan(model, transform)
+
+
+class TestSwapUnderChaos:
+    """A hot plan-swap must absorb worker deaths mid-rollout: either the
+    roll completes (casualty after the canary verdict) or it rolls back
+    (casualty before it) — never a stranded request, never a leaked
+    shared-memory segment, never a half-swapped fleet."""
+
+    def test_worker_killed_mid_swap_rolls_back_cleanly(
+        self, compiled, batch, reference
+    ):
+        # Every worker exits the instant its first swap command arrives,
+        # so the roll can never obtain a canary verdict: typed rejection,
+        # the candidate's segment is unlinked, the old plan keeps serving,
+        # and the supervisor heals the casualties.
+        model, plan = compiled
+        candidate = _recompiled_plan(model)
+        spec = ChaosSpec(die_on_swap=True, die_on_nth_swap=1)
+        with ProcessWorkerPool(
+            model, plan, workers=2, chaos=spec, max_respawns=50, **FAST
+        ) as pool:
+            np.testing.assert_allclose(pool.run(batch), reference)
+            segments_before = (
+                set(os.listdir("/dev/shm")) if os.path.isdir("/dev/shm") else None
+            )
+            with pytest.raises(PlanSwapError):
+                pool.swap_plan(
+                    candidate,
+                    canary=lambda run: np.testing.assert_allclose(
+                        run(batch), reference
+                    ),
+                )
+            if segments_before is not None:
+                leaked = set(os.listdir("/dev/shm")) - segments_before
+                assert not leaked, f"swap leaked shm segments: {leaked}"
+            assert pool.plan is plan
+            assert _wait_until(lambda: len(pool.worker_pids()) == 2)
+            np.testing.assert_allclose(pool.run(batch), reference)
+
+    def test_swap_completes_when_worker_dies_after_canary(
+        self, compiled, batch, reference, monkeypatch
+    ):
+        # The casualty falls *after* the canary validated the new plan:
+        # the roll continues over the survivors, commits, and the
+        # supervisor respawns the dead worker from the *committed* spec.
+        model, plan = compiled
+        candidate = _recompiled_plan(model)
+        with ProcessWorkerPool(
+            model, plan, workers=3, max_respawns=50, **FAST
+        ) as pool:
+            np.testing.assert_allclose(pool.run(batch), reference)
+            real = pool._swap_one
+            rolled = []
+
+            def chaotic(worker, spec):
+                rolled.append(spec)
+                if len(rolled) == 2 and spec is rolled[0]:
+                    # SIGKILL the second worker the (forward) roll reaches.
+                    os.kill(worker.process.pid, signal.SIGKILL)
+                    worker.process.join(timeout=5.0)
+                return real(worker, spec)
+
+            monkeypatch.setattr(pool, "_swap_one", chaotic)
+            swapped = pool.swap_plan(
+                candidate,
+                canary=lambda run: np.testing.assert_allclose(run(batch), reference),
+            )
+            assert swapped == 2  # canary worker + third worker; casualty skipped
+            assert pool.plan is candidate
+            assert _wait_until(lambda: len(pool.worker_pids()) == 3)
+            np.testing.assert_allclose(pool.run(batch), reference)
+
+    def test_poisoned_artifact_rejected_while_serving(
+        self, compiled, batch, reference
+    ):
+        # A corrupt artifact that passes the weight-identity gate must die
+        # at the canary, with requests flowing before, during, and after.
+        model, plan = compiled
+        bad = skewed_plan(_recompiled_plan(model))
+        with ProcessWorkerPool(model, plan, workers=2, **FAST) as pool:
+            with ServingEngine(pool, max_batch=2, workers=2) as engine:
+                futures = [engine.submit(batch) for _ in range(8)]
+                with pytest.raises(SwapRejected) as excinfo:
+                    engine.swap_plan(bad)
+                assert "diverge" in excinfo.value.reason
+                futures += [engine.submit(batch) for _ in range(8)]
+                for f in futures:
+                    np.testing.assert_allclose(f.result(timeout=120.0), reference)
+                assert pool.plan is plan
