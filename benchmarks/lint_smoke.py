@@ -1,0 +1,79 @@
+"""Lint smoke: the CI gate must stay fast enough to run on every push.
+
+Times a cold run (empty cache: every file parsed, every checker walked)
+and a warm run (content digests unchanged: cached per-file results
+replay, only the global cross-file pass re-executes) of ``repro.lint``
+over the whole repository, into a throwaway cache so a developer's real
+``.lint-cache.json`` is never touched.  Asserts:
+
+- **clean repo** — zero unbaselined findings and zero unparseable files
+  on both runs (the same gate ``python -m repro.lint --strict`` applies);
+- **the cache works** — the warm run replays every file from cache;
+- **warm ≤ 1s** — the latency budget that keeps the lint gate viable as
+  a pre-commit/CI step; a checker that regresses the warm path past it
+  fails here before it annoys anyone.
+
+Run it yourself::
+
+    PYTHONPATH=src python benchmarks/lint_smoke.py
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.analysis import lint_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+WARM_BUDGET_SECONDS = 1.0
+
+
+def main() -> int:
+    paths = [REPO_ROOT / p for p in ("src", "tests", "benchmarks")]
+    baseline = REPO_ROOT / "lint-baseline.json"
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = Path(tmp) / "lint-cache.json"
+
+        t0 = time.perf_counter()
+        cold = lint_paths(paths, root=REPO_ROOT, baseline_path=baseline, cache_path=cache)
+        cold_s = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        warm = lint_paths(paths, root=REPO_ROOT, baseline_path=baseline, cache_path=cache)
+        warm_s = time.perf_counter() - t0
+
+    print(
+        f"cold: {cold.files} files, {cold.cache_hits} cached, "
+        f"{len(cold.diagnostics)} finding(s) in {cold_s:.2f}s"
+    )
+    print(
+        f"warm: {warm.files} files, {warm.cache_hits} cached, "
+        f"{len(warm.diagnostics)} finding(s) in {warm_s:.2f}s "
+        f"(budget {WARM_BUDGET_SECONDS:.1f}s)"
+    )
+
+    for result, label in ((cold, "cold"), (warm, "warm")):
+        assert result.errors == [], f"{label} run hit unparseable files: {result.errors}"
+        assert result.diagnostics == [], (
+            f"{label} run found unbaselined findings:\n"
+            + "\n".join(d.render() for d in result.diagnostics)
+        )
+        assert result.stale_baseline == [], (
+            f"{label} run found stale baseline entries (tighten the ratchet)"
+        )
+    assert warm.cache_hits == warm.files, (
+        f"warm run should replay every file from cache, "
+        f"got {warm.cache_hits}/{warm.files}"
+    )
+    assert warm_s <= WARM_BUDGET_SECONDS, (
+        f"warm lint took {warm_s:.2f}s, over the {WARM_BUDGET_SECONDS:.1f}s budget"
+    )
+    print("lint smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

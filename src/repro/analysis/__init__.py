@@ -1,0 +1,32 @@
+"""``repro.analysis`` — the stdlib-``ast`` invariant linter behind
+``python -m repro.lint``.
+
+Public surface:
+
+- :func:`repro.analysis.engine.lint_paths` / ``lint_source`` — run the
+  checkers over files or an in-memory snippet;
+- :func:`repro.analysis.annotations.hot_path` / ``cross_process`` — the
+  zero-cost runtime markers the checkers key on;
+- :mod:`repro.analysis.checkers` — the five built-in rules (see
+  README.md in this directory for the rule catalog).
+"""
+
+from repro.analysis.annotations import cross_process, hot_path
+from repro.analysis.baseline import Baseline, BaselineEntry, fingerprint
+from repro.analysis.core import Checker, Diagnostic, all_checkers, all_rules
+from repro.analysis.engine import LintResult, lint_paths, lint_source
+
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "Checker",
+    "Diagnostic",
+    "LintResult",
+    "all_checkers",
+    "all_rules",
+    "cross_process",
+    "fingerprint",
+    "hot_path",
+    "lint_paths",
+    "lint_source",
+]

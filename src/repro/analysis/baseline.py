@@ -1,0 +1,87 @@
+"""Ratchet baseline: known findings, fingerprinted so they survive line
+drift but die when the offending code changes.
+
+A fingerprint hashes (rule, path, qualname, normalized source line) — not
+the line *number* — so unrelated edits above a baselined finding do not
+invalidate it, while any edit to the finding's own line does.  The
+baseline file is JSON, reviewed like code; every entry must carry a
+written justification.  ``--strict`` additionally fails on *stale*
+entries (fingerprints no longer produced), which is the ratchet: the
+baseline can only shrink.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.analysis.core import Diagnostic
+
+__all__ = ["BaselineEntry", "Baseline", "fingerprint"]
+
+_WS = re.compile(r"\s+")
+
+
+def fingerprint(diag: Diagnostic, line_text: str) -> str:
+    normalized = _WS.sub(" ", line_text.strip())
+    payload = f"{diag.rule}|{diag.path}|{diag.qualname}|{normalized}"
+    return hashlib.blake2b(payload.encode(), digest_size=8).hexdigest()
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    fingerprint: str
+    rule: str
+    path: str
+    justification: str
+
+
+class Baseline:
+    def __init__(self, entries: list[BaselineEntry] | None = None) -> None:
+        self.entries: dict[str, BaselineEntry] = {
+            e.fingerprint: e for e in (entries or [])
+        }
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        path = Path(path)
+        if not path.exists():
+            return cls()
+        data = json.loads(path.read_text())
+        if data.get("version") != 1:
+            raise ValueError(f"unsupported baseline version in {path}")
+        return cls(
+            [
+                BaselineEntry(
+                    e["fingerprint"], e["rule"], e["path"], e.get("justification", "")
+                )
+                for e in data.get("entries", [])
+            ]
+        )
+
+    def save(self, path: str | Path) -> None:
+        data = {
+            "version": 1,
+            "entries": [
+                {
+                    "fingerprint": e.fingerprint,
+                    "rule": e.rule,
+                    "path": e.path,
+                    "justification": e.justification,
+                }
+                for e in sorted(self.entries.values(), key=lambda e: (e.path, e.rule))
+            ],
+        }
+        Path(path).write_text(json.dumps(data, indent=2) + "\n")
+
+    def __contains__(self, fp: str) -> bool:
+        return fp in self.entries
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def stale(self, seen_fingerprints: set[str]) -> list[BaselineEntry]:
+        return [e for fp, e in sorted(self.entries.items()) if fp not in seen_fingerprints]

@@ -1,0 +1,140 @@
+"""``hot-path``: functions decorated ``@hot_path`` must stay pure enough
+for the ≤5% serving-overhead fence.
+
+Banned inside a hot function (including its nested helpers):
+
+- lock *construction* — ``threading.Lock()`` & friends (allocating a
+  lock per call is a classic slow-creep regression; *using* an existing
+  lock via ``with self._lock:`` is allowed and checked by
+  ``guarded-field`` instead);
+- wall-clock reads — ``time.time()`` (hot code must use the monotonic
+  clocks ``time.perf_counter``/``time.monotonic`` so NTP steps cannot
+  corrupt latency accounting), and ``time.sleep``;
+- console/file I/O — ``print``, ``open``, ``input``, ``breakpoint``,
+  ``sys.stdout/stderr.write``;
+- logging — ``logging.*`` / ``logger.*`` / ``log.*`` level calls.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.core import Checker, Diagnostic, FileContext, register_checker
+
+_BANNED_BUILTINS = {"print", "open", "input", "breakpoint"}
+_BANNED_TIME_ATTRS = {"time", "sleep"}
+_LOCK_CTORS = {
+    "Lock",
+    "RLock",
+    "Condition",
+    "Event",
+    "Semaphore",
+    "BoundedSemaphore",
+    "Barrier",
+}
+_LOG_BASES = {"logging", "logger", "log"}
+_LOG_METHODS = {"debug", "info", "warning", "warn", "error", "exception", "critical", "log"}
+
+
+def _has_hot_path_decorator(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    for dec in fn.decorator_list:
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        name = None
+        if isinstance(target, ast.Name):
+            name = target.id
+        elif isinstance(target, ast.Attribute):
+            name = target.attr
+        if name == "hot_path":
+            return True
+    return False
+
+
+def _from_imports(tree: ast.Module) -> dict[str, tuple[str, str]]:
+    """local name -> (module, original name) for module-level from-imports."""
+    out: dict[str, tuple[str, str]] = {}
+    for node in tree.body:
+        if isinstance(node, ast.ImportFrom) and node.module:
+            for alias in node.names:
+                out[alias.asname or alias.name] = (node.module, alias.name)
+    return out
+
+
+@register_checker
+class HotPathChecker(Checker):
+    name = "hot-path"
+    rules = ("hot-path",)
+    description = (
+        "@hot_path functions must not construct locks, read the wall "
+        "clock, print, log, or do I/O"
+    )
+
+    def check(self, ctx: FileContext) -> list[Diagnostic]:
+        imports = _from_imports(ctx.tree)
+        diags: list[Diagnostic] = []
+        for fn in ast.walk(ctx.tree):
+            if isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if _has_hot_path_decorator(fn):
+                    self._check_body(ctx, fn, imports, diags)
+        return diags
+
+    def _check_body(
+        self,
+        ctx: FileContext,
+        fn: ast.AST,
+        imports: dict[str, tuple[str, str]],
+        diags: list[Diagnostic],
+    ) -> None:
+        for node in ast.walk(fn):
+            if not isinstance(node, ast.Call):
+                continue
+            offense = self._offense(node, imports)
+            if offense:
+                diags.append(ctx.diag("hot-path", node.lineno, offense))
+
+    def _offense(
+        self, call: ast.Call, imports: dict[str, tuple[str, str]]
+    ) -> str | None:
+        fn = call.func
+        if isinstance(fn, ast.Name):
+            name = fn.id
+            if name in _BANNED_BUILTINS:
+                return f"{name}() in a @hot_path function (console/file I/O)"
+            origin = imports.get(name)
+            if origin == ("time", "time"):
+                return (
+                    "time.time() in a @hot_path function — use the monotonic "
+                    "time.perf_counter()/time.monotonic()"
+                )
+            if origin == ("time", "sleep"):
+                return "time.sleep() in a @hot_path function"
+            if name in _LOCK_CTORS and (
+                origin is None or origin[0] in ("threading", "multiprocessing")
+            ):
+                return (
+                    f"{name}() constructs a synchronization primitive in a "
+                    "@hot_path function — allocate it once at init time"
+                )
+            return None
+        if isinstance(fn, ast.Attribute):
+            attr = fn.attr
+            base = fn.value
+            if isinstance(base, ast.Name):
+                if base.id == "time" and attr in _BANNED_TIME_ATTRS:
+                    if attr == "time":
+                        return (
+                            "time.time() in a @hot_path function — use the "
+                            "monotonic time.perf_counter()/time.monotonic()"
+                        )
+                    return "time.sleep() in a @hot_path function"
+                if base.id in ("threading", "multiprocessing") and attr in _LOCK_CTORS:
+                    return (
+                        f"{base.id}.{attr}() constructs a synchronization "
+                        "primitive in a @hot_path function — allocate it once "
+                        "at init time"
+                    )
+                if base.id in _LOG_BASES and attr in _LOG_METHODS:
+                    return f"{base.id}.{attr}() logging call in a @hot_path function"
+            if attr == "write" and isinstance(base, ast.Attribute):
+                if base.attr in ("stdout", "stderr"):
+                    return f"sys.{base.attr}.write() in a @hot_path function"
+        return None

@@ -1,0 +1,120 @@
+"""``guarded-field``: fields annotated ``# guarded-by: <lock>`` may only
+be touched inside ``with self.<lock>:`` in the same class.
+
+The declaration site is the assignment in (usually) ``__init__``; the
+checker then walks every other method tracking the lexical stack of
+``with self.<name>:`` blocks and flags any load or store of a guarded
+``self.<field>`` made while the declared lock is not held.  Constructors
+(``__init__``/``__new__``/``__post_init__``) are exempt — the object is
+not yet published to other threads there.  Benign racy reads
+(single-writer flags, snapshot properties) are documented with a
+``# lint: disable=guarded-field — reason`` pragma rather than silently
+tolerated.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.core import Checker, Diagnostic, FileContext, register_checker
+
+_CTOR_EXEMPT = {"__init__", "__new__", "__post_init__"}
+
+
+def _lock_name(expr: ast.expr) -> str | None:
+    """``with self._lock:`` / ``with self._cond:`` -> the attribute name."""
+    if (
+        isinstance(expr, ast.Attribute)
+        and isinstance(expr.value, ast.Name)
+        and expr.value.id == "self"
+    ):
+        return expr.attr
+    return None
+
+
+@register_checker
+class LockDisciplineChecker(Checker):
+    name = "lock-discipline"
+    rules = ("guarded-field",)
+    description = (
+        "fields declared '# guarded-by: <lock>' may only be accessed "
+        "inside 'with self.<lock>:' in the same class"
+    )
+
+    def check(self, ctx: FileContext) -> list[Diagnostic]:
+        diags: list[Diagnostic] = []
+        for cls in ast.walk(ctx.tree):
+            if isinstance(cls, ast.ClassDef):
+                diags.extend(self._check_class(ctx, cls))
+        return diags
+
+    def _check_class(self, ctx: FileContext, cls: ast.ClassDef) -> list[Diagnostic]:
+        guarded: dict[str, str] = {}  # field -> lock attribute name
+        for node in ast.walk(cls):
+            if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                lock = ctx.guarded_by_on(node.lineno, node.end_lineno)
+                if lock is None:
+                    continue
+                targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+                for t in targets:
+                    if (
+                        isinstance(t, ast.Attribute)
+                        and isinstance(t.value, ast.Name)
+                        and t.value.id == "self"
+                    ):
+                        guarded[t.attr] = lock
+        if not guarded:
+            return []
+
+        diags: list[Diagnostic] = []
+        for meth in cls.body:
+            if not isinstance(meth, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if meth.name in _CTOR_EXEMPT:
+                continue
+            for stmt in meth.body:
+                self._walk(ctx, guarded, stmt, frozenset(), diags)
+        return diags
+
+    def _walk(
+        self,
+        ctx: FileContext,
+        guarded: dict[str, str],
+        node: ast.AST,
+        held: frozenset[str],
+        diags: list[Diagnostic],
+    ) -> None:
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            inner = set(held)
+            for item in node.items:
+                # The lock expression itself is evaluated unlocked.
+                self._walk(ctx, guarded, item.context_expr, held, diags)
+                name = _lock_name(item.context_expr)
+                if name is not None:
+                    inner.add(name)
+            for stmt in node.body:
+                self._walk(ctx, guarded, stmt, frozenset(inner), diags)
+            return
+        if isinstance(node, ast.Attribute):
+            if (
+                isinstance(node.value, ast.Name)
+                and node.value.id == "self"
+                and node.attr in guarded
+            ):
+                lock = guarded[node.attr]
+                if lock not in held:
+                    line = node.lineno
+                    if ctx.guarded_by_on(line) != lock and not ctx.is_suppressed(
+                        "guarded-field", line
+                    ):
+                        verb = "written" if isinstance(node.ctx, (ast.Store, ast.Del)) else "read"
+                        diags.append(
+                            ctx.diag(
+                                "guarded-field",
+                                line,
+                                f"self.{node.attr} is {verb} without holding "
+                                f"self.{lock} (declared '# guarded-by: {lock}')",
+                            )
+                        )
+        for child in ast.iter_child_nodes(node):
+            self._walk(ctx, guarded, child, held, diags)

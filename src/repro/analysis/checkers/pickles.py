@@ -1,0 +1,206 @@
+"""``cross-process``: classes decorated ``@cross_process`` (shipped over
+the worker pipe as pickles) must transitively contain only
+picklable-by-construction field types.
+
+This is the only two-pass checker: pass 1 (``collect``) records, per
+file, every class's annotated fields plus whether it defines the
+``__getstate__``/``__setstate__`` pair or is itself ``@cross_process``;
+pass 2 (``finalize``) resolves field annotations against the global class
+index.  A field type is accepted when it is:
+
+- a primitive (``int``/``float``/``str``/``bool``/``bytes``/``None``);
+- a container of accepted types (``tuple``/``list``/``dict``/``set``/
+  ``frozenset``/``Optional``/``Union``/``X | Y``, including
+  ``tuple[int, ...]``);
+- a numpy ``ndarray`` (pickled by value);
+- a class found in the index that defines both state dunders, or is a
+  dataclass whose fields all recursively pass (cycle-safe).
+
+Anything unresolvable — an arbitrary object type, a callable, an open
+handle type — is flagged at the field's line, because a pickle failure
+over the worker pipe surfaces as a hung request, not a clean error.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.core import Checker, Diagnostic, FileContext, register_checker
+
+_PRIMITIVES = {
+    "int",
+    "float",
+    "str",
+    "bool",
+    "bytes",
+    "bytearray",
+    "complex",
+    "None",
+    "NoneType",
+}
+_CONTAINERS = {
+    "tuple",
+    "list",
+    "dict",
+    "set",
+    "frozenset",
+    "Tuple",
+    "List",
+    "Dict",
+    "Set",
+    "FrozenSet",
+    "Optional",
+    "Union",
+    "Sequence",
+    "Mapping",
+}
+_EXTERNAL_OK = {"ndarray"}  # np.ndarray pickles by value
+
+
+def _decorator_names(node: ast.ClassDef) -> set[str]:
+    names = set()
+    for dec in node.decorator_list:
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        if isinstance(target, ast.Name):
+            names.add(target.id)
+        elif isinstance(target, ast.Attribute):
+            names.add(target.attr)
+    return names
+
+
+@register_checker
+class CrossProcessChecker(Checker):
+    name = "cross-process"
+    rules = ("cross-process",)
+    description = (
+        "@cross_process dataclasses must transitively hold only "
+        "picklable-by-construction field types"
+    )
+
+    def collect(self, ctx: FileContext) -> dict:
+        classes: dict[str, dict] = {}
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            decorators = _decorator_names(node)
+            methods = {
+                m.name
+                for m in node.body
+                if isinstance(m, (ast.FunctionDef, ast.AsyncFunctionDef))
+            }
+            fields = []
+            for stmt in node.body:
+                if isinstance(stmt, ast.AnnAssign) and isinstance(
+                    stmt.target, ast.Name
+                ):
+                    fields.append(
+                        {
+                            "name": stmt.target.id,
+                            "line": stmt.lineno,
+                            "annotation": ast.unparse(stmt.annotation),
+                            "suppressed": ctx.is_suppressed(
+                                "cross-process", stmt.lineno
+                            ),
+                        }
+                    )
+            classes[node.name] = {
+                "line": node.lineno,
+                "cross_process": "cross_process" in decorators,
+                "is_dataclass": "dataclass" in decorators,
+                "has_state_dunders": {"__getstate__", "__setstate__"} <= methods,
+                "suppressed": ctx.is_suppressed("cross-process", node.lineno),
+                "fields": fields,
+            }
+        return {"classes": classes}
+
+    def finalize(self, facts: dict[str, dict]) -> list[Diagnostic]:
+        index: dict[str, dict] = {}
+        owner: dict[str, str] = {}
+        for path, file_facts in facts.items():
+            for name, info in (file_facts or {}).get("classes", {}).items():
+                index[name] = info
+                owner[name] = path
+        diags: list[Diagnostic] = []
+        for name, info in index.items():
+            if not info["cross_process"] or info["suppressed"]:
+                continue
+            for f in info["fields"]:
+                if f["suppressed"]:
+                    continue
+                bad = self._reject_reason(f["annotation"], index, seen={name})
+                if bad:
+                    diags.append(
+                        Diagnostic(
+                            owner[name],
+                            f["line"],
+                            "cross-process",
+                            name,
+                            f"field {f['name']!r} of @cross_process class "
+                            f"{name} has type {f['annotation']!r}: {bad}",
+                        )
+                    )
+        return diags
+
+    # ------------------------------------------------------------ #
+    def _reject_reason(
+        self, annotation: str, index: dict[str, dict], seen: set[str]
+    ) -> str | None:
+        try:
+            expr = ast.parse(annotation.strip(), mode="eval").body
+        except SyntaxError:
+            return "annotation is not parseable"
+        return self._reject_expr(expr, index, seen)
+
+    def _reject_expr(
+        self, expr: ast.expr, index: dict[str, dict], seen: set[str]
+    ) -> str | None:
+        if isinstance(expr, ast.Constant):
+            if expr.value is None or isinstance(expr.value, type(Ellipsis)):
+                return None
+            if isinstance(expr.value, str):  # forward reference
+                return self._reject_reason(expr.value, index, seen)
+            return None
+        if isinstance(expr, ast.BinOp) and isinstance(expr.op, ast.BitOr):
+            return self._reject_expr(expr.left, index, seen) or self._reject_expr(
+                expr.right, index, seen
+            )
+        if isinstance(expr, ast.Subscript):
+            base = self._tail_name(expr.value)
+            if base not in _CONTAINERS:
+                return f"{base or ast.unparse(expr.value)} is not a known container"
+            inner = expr.slice
+            elts = inner.elts if isinstance(inner, ast.Tuple) else [inner]
+            for e in elts:
+                bad = self._reject_expr(e, index, seen)
+                if bad:
+                    return bad
+            return None
+        name = self._tail_name(expr)
+        if name is None:
+            return "unsupported annotation form"
+        if name in _PRIMITIVES or name in _CONTAINERS or name in _EXTERNAL_OK:
+            return None
+        if name == "Any":
+            return "typing.Any is not picklable by construction"
+        info = index.get(name)
+        if info is None:
+            return "not a primitive and not a class the linter can resolve"
+        if name in seen:
+            return None  # recursive type; the cycle itself is picklable
+        if info["has_state_dunders"]:
+            return None  # class manages its own pickle contract
+        if info["is_dataclass"] or info["cross_process"]:
+            for f in info["fields"]:
+                bad = self._reject_reason(f["annotation"], index, seen | {name})
+                if bad:
+                    return f"via {name}.{f['name']}: {bad}"
+            return None
+        return f"class {name} neither defines __getstate__/__setstate__ nor is a dataclass"
+
+    @staticmethod
+    def _tail_name(expr: ast.expr) -> str | None:
+        if isinstance(expr, ast.Name):
+            return expr.id
+        if isinstance(expr, ast.Attribute):
+            return expr.attr
+        return None

@@ -1,0 +1,178 @@
+"""``shm-lifecycle``: every acquired shared-memory segment must reach
+cleanup (``close``/``unlink``) on all control-flow paths, or visibly hand
+ownership to someone who will.
+
+Trigger sites are calls to ``SharedMemory(create=True, ...)`` and
+``share_plan(...)`` — the two ways this codebase mints a POSIX shm
+segment that outlives the process if leaked (the failure class the
+``/dev/shm``-diff chaos tests can only probe dynamically).  An
+acquisition is considered safe when one of these holds:
+
+- the call's result immediately *escapes* — returned, yielded, stored on
+  ``self``, or passed as an argument to another call (ownership handoff,
+  e.g. ``cls(shm, owner=True)``);
+- the call is used as a context manager (``with SharedMemory(...)``);
+- the result is bound to a local name and the enclosing scope has a
+  ``finally`` block that calls ``<name>.close()`` or ``<name>.unlink()``,
+  or the bound name itself later escapes as above.
+
+Anything else — in particular the straight-line ``shm = SharedMemory(
+create=True); ...; return data`` pattern with no ``finally`` — is
+flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.core import Checker, Diagnostic, FileContext, register_checker
+
+
+def _call_target(call: ast.Call) -> str | None:
+    fn = call.func
+    if isinstance(fn, ast.Name):
+        return fn.id
+    if isinstance(fn, ast.Attribute):
+        return fn.attr
+    return None
+
+
+def _is_trigger(call: ast.Call) -> bool:
+    target = _call_target(call)
+    if target == "share_plan":
+        return True
+    if target == "SharedMemory":
+        for kw in call.keywords:
+            if kw.arg == "create" and isinstance(kw.value, ast.Constant):
+                return bool(kw.value.value)
+    return False
+
+
+def _first_name(target: ast.expr) -> str | None:
+    """The local name an acquisition binds to (first element for tuples,
+    matching ``store, spec = share_plan(plan)``)."""
+    if isinstance(target, ast.Name):
+        return target.id
+    if isinstance(target, (ast.Tuple, ast.List)) and target.elts:
+        return _first_name(target.elts[0])
+    return None
+
+
+def _walk_scope(scope: ast.AST):
+    """Walk ``scope`` without descending into nested function bodies
+    (module-level pass must not re-report function-level acquisitions)."""
+    stack = list(ast.iter_child_nodes(scope))
+    while stack:
+        node = stack.pop()
+        yield node
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            stack.extend(ast.iter_child_nodes(node))
+
+
+def _returns_object(value: ast.expr, name: str) -> bool:
+    """True only when the object itself is returned (bare name, possibly
+    inside a tuple/list) — ``return shm.name`` is *not* a handoff."""
+    if isinstance(value, ast.Name):
+        return value.id == name
+    if isinstance(value, (ast.Tuple, ast.List)):
+        return any(_returns_object(e, name) for e in value.elts)
+    return False
+
+
+def _name_escapes(scope: ast.AST, name: str, after_line: int) -> bool:
+    for node in _walk_scope(scope):
+        if getattr(node, "lineno", 0) < after_line:
+            continue
+        if isinstance(node, (ast.Return, ast.Yield)) and node.value is not None:
+            if _returns_object(node.value, name):
+                return True
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Name):
+            if node.value.id == name and any(
+                isinstance(t, ast.Attribute) for t in node.targets
+            ):
+                return True
+        if isinstance(node, ast.Call):
+            for a in list(node.args) + [kw.value for kw in node.keywords]:
+                if isinstance(a, ast.Name) and a.id == name:
+                    return True
+    return False
+
+
+def _cleaned_in_finally(scope: ast.AST, name: str) -> bool:
+    for node in _walk_scope(scope):
+        if isinstance(node, ast.Try) and node.finalbody:
+            for inner in node.finalbody:
+                for call in ast.walk(inner):
+                    if (
+                        isinstance(call, ast.Call)
+                        and isinstance(call.func, ast.Attribute)
+                        and call.func.attr in ("close", "unlink")
+                        and isinstance(call.func.value, ast.Name)
+                        and call.func.value.id == name
+                    ):
+                        return True
+    return False
+
+
+@register_checker
+class ShmLifecycleChecker(Checker):
+    name = "shm-lifecycle"
+    rules = ("shm-lifecycle",)
+    description = (
+        "SharedMemory(create=True) / share_plan() acquisitions must reach "
+        "close()+unlink() on all paths or hand ownership off"
+    )
+
+    def check(self, ctx: FileContext) -> list[Diagnostic]:
+        parents: dict[ast.AST, ast.AST] = {}
+        for node in ast.walk(ctx.tree):
+            for child in ast.iter_child_nodes(node):
+                parents[child] = node
+
+        diags: list[Diagnostic] = []
+        for node in ast.walk(ctx.tree):
+            if not (isinstance(node, ast.Call) and _is_trigger(node)):
+                continue
+            scope: ast.AST = node
+            while scope in parents and not isinstance(
+                scope, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Module)
+            ):
+                scope = parents[scope]
+            if self._is_safe(scope, parents, node):
+                continue
+            diags.append(
+                ctx.diag(
+                    "shm-lifecycle",
+                    node.lineno,
+                    f"{_call_target(node)}() acquires a shared-memory segment "
+                    "with no close()/unlink() in a finally block and no "
+                    "ownership handoff (leaks /dev/shm on error paths)",
+                )
+            )
+        return diags
+
+    def _is_safe(
+        self, scope: ast.AST, parents: dict[ast.AST, ast.AST], call: ast.Call
+    ) -> bool:
+        parent = parents.get(call)
+        while isinstance(parent, (ast.Tuple, ast.List, ast.Starred, ast.Await)):
+            parent = parents.get(parent)
+        if isinstance(parent, (ast.Return, ast.Yield)):
+            return True  # handed to the caller
+        if isinstance(parent, (ast.Call, ast.keyword)):
+            return True  # passed straight into another call
+        if isinstance(parent, ast.withitem):
+            return True  # context manager closes it
+        if isinstance(parent, (ast.Assign, ast.AnnAssign)):
+            targets = (
+                parent.targets if isinstance(parent, ast.Assign) else [parent.target]
+            )
+            if any(isinstance(t, ast.Attribute) for t in targets):
+                return True  # stored on an object; its lifecycle owns it
+            name = _first_name(targets[0])
+            if name is not None:
+                if _cleaned_in_finally(scope, name):
+                    return True
+                if _name_escapes(scope, name, parent.lineno):
+                    return True
+        return False

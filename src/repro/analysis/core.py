@@ -1,0 +1,191 @@
+"""Core types for the ``repro.lint`` framework: diagnostics, per-file
+context (AST + suppression pragmas + qualname spans), and the checker
+registry.
+
+Everything here is stdlib-only (``ast``, ``re``, ``dataclasses``) so the
+linter can run in the bare CI images that only install numpy.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Diagnostic",
+    "FileContext",
+    "Checker",
+    "register_checker",
+    "all_checkers",
+    "all_rules",
+]
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One finding: ``rule`` at ``path:line`` inside ``qualname``."""
+
+    path: str  # repo-relative posix path (or "<snippet>" for lint_source)
+    line: int
+    rule: str
+    qualname: str  # innermost enclosing Class.method, or "<module>"
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.qualname}: {self.message}"
+
+    def to_json(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "rule": self.rule,
+            "qualname": self.qualname,
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_json(cls, d: dict) -> "Diagnostic":
+        return cls(d["path"], d["line"], d["rule"], d["qualname"], d["message"])
+
+
+# ``# lint: disable=rule-a,rule-b — optional reason``
+_PRAGMA_RE = re.compile(r"#\s*lint:\s*disable=([\w,-]+)")
+# ``self.field = ...  # guarded-by: _state_lock``
+_GUARDED_RE = re.compile(r"#\s*guarded-by:\s*([A-Za-z_]\w*)")
+
+
+@dataclass
+class FileContext:
+    """Parsed source plus the pragma/scope maps the checkers share."""
+
+    path: str  # repo-relative posix path used in diagnostics
+    source: str
+    tree: ast.Module = field(init=False)
+    lines: list[str] = field(init=False)
+    # line -> rules disabled exactly on that line
+    line_pragmas: dict[int, set[str]] = field(init=False)
+    # (start, end, rules) for def/class-line pragmas covering a whole body
+    scope_pragmas: list[tuple[int, int, set[str]]] = field(init=False)
+    # (start, end, qualname) spans for every function/class, innermost wins
+    _qual_spans: list[tuple[int, int, str]] = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.tree = ast.parse(self.source)
+        self.lines = self.source.splitlines()
+        self.line_pragmas = {}
+        for i, text in enumerate(self.lines, start=1):
+            m = _PRAGMA_RE.search(text)
+            if m:
+                self.line_pragmas[i] = {r.strip() for r in m.group(1).split(",") if r.strip()}
+        # A pragma on a comment-only line covers the next code line too
+        # (the idiomatic spot when the offending line is already long).
+        for i in sorted(self.line_pragmas):
+            if self.lines[i - 1].lstrip().startswith("#"):
+                j = i + 1
+                while j <= len(self.lines) and (
+                    not self.lines[j - 1].strip()
+                    or self.lines[j - 1].lstrip().startswith("#")
+                ):
+                    j += 1
+                if j <= len(self.lines):
+                    self.line_pragmas.setdefault(j, set()).update(self.line_pragmas[i])
+        self.scope_pragmas = []
+        self._qual_spans = []
+        self._index_scopes(self.tree, prefix="")
+
+    def _index_scopes(self, node: ast.AST, prefix: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                qual = f"{prefix}.{child.name}" if prefix else child.name
+                end = child.end_lineno or child.lineno
+                self._qual_spans.append((child.lineno, end, qual))
+                # A pragma on the def/class line (or a decorator line)
+                # suppresses for the whole body.
+                first = min((d.lineno for d in child.decorator_list), default=child.lineno)
+                for ln in range(first, child.body[0].lineno):
+                    if ln in self.line_pragmas:
+                        self.scope_pragmas.append((child.lineno, end, self.line_pragmas[ln]))
+                self._index_scopes(child, qual)
+            else:
+                self._index_scopes(child, prefix)
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        if rule in self.line_pragmas.get(line, ()):
+            return True
+        return any(
+            start <= line <= end and rule in rules
+            for start, end, rules in self.scope_pragmas
+        )
+
+    def qualname_at(self, line: int) -> str:
+        best = "<module>"
+        best_size = None
+        for start, end, qual in self._qual_spans:
+            if start <= line <= end:
+                size = end - start
+                if best_size is None or size <= best_size:
+                    best, best_size = qual, size
+        return best
+
+    def guarded_by_on(self, lineno: int, end_lineno: int | None = None) -> str | None:
+        """The ``# guarded-by: <lock>`` annotation on a statement's lines."""
+        for ln in range(lineno, (end_lineno or lineno) + 1):
+            if 1 <= ln <= len(self.lines):
+                m = _GUARDED_RE.search(self.lines[ln - 1])
+                if m:
+                    return m.group(1)
+        return None
+
+    def diag(self, rule: str, line: int, message: str) -> Diagnostic:
+        return Diagnostic(self.path, line, rule, self.qualname_at(line), message)
+
+
+class Checker:
+    """Base class.  Subclasses register with :func:`register_checker`.
+
+    ``check`` yields per-file diagnostics.  Checkers that need cross-file
+    knowledge implement ``collect`` (per-file, cacheable, JSON-safe facts)
+    and ``finalize`` (global pass over all collected facts).
+    """
+
+    name: str = ""
+    rules: tuple[str, ...] = ()
+    description: str = ""
+
+    def check(self, ctx: FileContext) -> list[Diagnostic]:
+        return []
+
+    def collect(self, ctx: FileContext) -> dict | None:
+        return None
+
+    def finalize(self, facts: dict[str, dict]) -> list[Diagnostic]:
+        """``facts`` maps path -> this checker's collected facts."""
+        return []
+
+
+_REGISTRY: dict[str, Checker] = {}
+
+
+def register_checker(cls: type[Checker]) -> type[Checker]:
+    inst = cls()
+    if not inst.name or not inst.rules:
+        raise ValueError(f"checker {cls.__name__} must define name and rules")
+    _REGISTRY[inst.name] = inst
+    return cls
+
+
+def all_checkers() -> dict[str, Checker]:
+    # Importing the package registers the built-in checkers exactly once.
+    from repro.analysis import checkers as _  # noqa: F401
+
+    return dict(_REGISTRY)
+
+
+def all_rules() -> dict[str, str]:
+    """rule id -> owning checker description."""
+    return {
+        rule: chk.description
+        for chk in all_checkers().values()
+        for rule in chk.rules
+    }

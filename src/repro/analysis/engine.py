@@ -1,0 +1,218 @@
+"""The lint engine: file discovery, per-file caching, suppression and
+baseline filtering, and the two-pass (per-file + global) checker drive.
+
+Caching: ``.lint-cache.json`` maps each repo-relative path to the blake2
+digest of its content plus the diagnostics and cross-file facts computed
+from it.  A warm run over an unchanged repo parses nothing — it only
+hashes file contents and replays the cached per-file results (the global
+``finalize`` pass re-runs every time; it is pure dict-walking and cheap).
+That is what keeps the CI gate's warm path under a second.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.baseline import Baseline, BaselineEntry, fingerprint
+from repro.analysis.core import Checker, Diagnostic, FileContext, all_checkers
+
+__all__ = ["LintResult", "lint_paths", "lint_source"]
+
+_CACHE_VERSION = 3
+_SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", ".pytest_cache", ".benchmarks"}
+
+
+@dataclass
+class LintResult:
+    diagnostics: list[Diagnostic] = field(default_factory=list)  # actionable
+    baselined: list[Diagnostic] = field(default_factory=list)
+    stale_baseline: list[BaselineEntry] = field(default_factory=list)
+    files: int = 0
+    cache_hits: int = 0
+    errors: list[str] = field(default_factory=list)  # unparseable files
+
+    @property
+    def clean(self) -> bool:
+        return not self.diagnostics and not self.errors
+
+
+def _digest(text: str) -> str:
+    return hashlib.blake2b(text.encode(), digest_size=16).hexdigest()
+
+
+def discover(paths: list[Path]) -> list[Path]:
+    files: list[Path] = []
+    for p in paths:
+        if p.is_dir():
+            for f in sorted(p.rglob("*.py")):
+                if not any(part in _SKIP_DIRS for part in f.parts):
+                    files.append(f)
+        elif p.suffix == ".py":
+            files.append(p)
+    return files
+
+
+def _line_text(source_lines: list[str], line: int) -> str:
+    return source_lines[line - 1] if 1 <= line <= len(source_lines) else ""
+
+
+def lint_source(
+    source: str,
+    path: str = "<snippet>",
+    rules: set[str] | None = None,
+) -> list[Diagnostic]:
+    """Lint one in-memory snippet (the fixture-test hook): runs every
+    checker including the global pass, no cache, no baseline.  Suppression
+    pragmas in the snippet are honored; returns the surviving diagnostics
+    sorted by line."""
+    ctx = FileContext(path=path, source=source)
+    checkers = all_checkers().values()
+    diags: list[Diagnostic] = []
+    facts_by_checker: dict[str, dict[str, dict]] = {}
+    for chk in checkers:
+        diags.extend(chk.check(ctx))
+        facts = chk.collect(ctx)
+        if facts is not None:
+            facts_by_checker[chk.name] = {path: facts}
+    for chk in checkers:
+        if chk.name in facts_by_checker:
+            diags.extend(chk.finalize(facts_by_checker[chk.name]))
+    out = [
+        d
+        for d in diags
+        if not ctx.is_suppressed(d.rule, d.line)
+        and (rules is None or d.rule in rules)
+    ]
+    return sorted(out)
+
+
+def lint_paths(
+    paths: list[str | Path],
+    root: str | Path | None = None,
+    baseline_path: str | Path | None = None,
+    cache_path: str | Path | None = None,
+    use_cache: bool = True,
+    rules: set[str] | None = None,
+) -> LintResult:
+    root = Path(root or Path.cwd()).resolve()
+    files = discover([Path(p).resolve() for p in paths])
+    checkers = list(all_checkers().values())
+    baseline = Baseline.load(baseline_path) if baseline_path else Baseline()
+
+    cache: dict = {}
+    cache_file = Path(cache_path) if cache_path else None
+    if use_cache and cache_file and cache_file.exists():
+        try:
+            loaded = json.loads(cache_file.read_text())
+            if loaded.get("version") == _CACHE_VERSION:
+                cache = loaded.get("files", {})
+        except (json.JSONDecodeError, OSError):
+            cache = {}
+
+    result = LintResult()
+    new_cache: dict = {}
+    facts_by_checker: dict[str, dict[str, dict]] = {c.name: {} for c in checkers}
+    per_file_diags: dict[str, list[Diagnostic]] = {}
+    sources: dict[str, list[str]] = {}
+
+    for f in files:
+        try:
+            relpath = f.relative_to(root).as_posix()
+        except ValueError:
+            relpath = f.as_posix()
+        try:
+            source = f.read_text()
+        except (OSError, UnicodeDecodeError) as exc:
+            result.errors.append(f"{relpath}: unreadable ({exc})")
+            continue
+        result.files += 1
+        sources[relpath] = source.splitlines()
+        digest = _digest(source)
+        entry = cache.get(relpath)
+        if entry and entry.get("digest") == digest:
+            result.cache_hits += 1
+            per_file_diags[relpath] = [
+                Diagnostic.from_json(d) for d in entry["diagnostics"]
+            ]
+            for cname, facts in entry.get("facts", {}).items():
+                if cname in facts_by_checker:
+                    facts_by_checker[cname][relpath] = facts
+            new_cache[relpath] = entry
+            continue
+        try:
+            ctx = FileContext(path=relpath, source=source)
+        except SyntaxError as exc:
+            result.errors.append(f"{relpath}: syntax error ({exc})")
+            continue
+        diags: list[Diagnostic] = []
+        facts_entry: dict[str, dict] = {}
+        for chk in checkers:
+            diags.extend(chk.check(ctx))
+            facts = chk.collect(ctx)
+            if facts is not None:
+                facts_by_checker[chk.name][relpath] = facts
+                facts_entry[chk.name] = facts
+        diags = sorted(d for d in diags if not ctx.is_suppressed(d.rule, d.line))
+        per_file_diags[relpath] = diags
+        new_cache[relpath] = {
+            "digest": digest,
+            "diagnostics": [d.to_json() for d in diags],
+            "facts": facts_entry,
+        }
+
+    # Global pass over the collected facts (cheap; never cached).
+    global_diags: list[Diagnostic] = []
+    for chk in checkers:
+        global_diags.extend(chk.finalize(facts_by_checker[chk.name]))
+
+    all_diags = sorted(
+        [d for ds in per_file_diags.values() for d in ds] + global_diags
+    )
+    if rules is not None:
+        all_diags = [d for d in all_diags if d.rule in rules]
+
+    seen_fps: set[str] = set()
+    for d in all_diags:
+        fp = fingerprint(d, _line_text(sources.get(d.path, []), d.line))
+        seen_fps.add(fp)
+        (result.baselined if fp in baseline else result.diagnostics).append(d)
+    result.stale_baseline = baseline.stale(seen_fps)
+
+    if use_cache and cache_file:
+        try:
+            cache_file.write_text(
+                json.dumps({"version": _CACHE_VERSION, "files": new_cache})
+            )
+        except OSError:
+            pass  # a read-only checkout just runs cold every time
+    return result
+
+
+def update_baseline(
+    result: LintResult,
+    baseline_path: str | Path,
+    root: str | Path | None = None,
+    justification: str = "baselined by --update-baseline; justify before merging",
+) -> int:
+    """Write every current finding into the baseline file.  Returns the
+    number of entries written."""
+    root = Path(root or Path.cwd()).resolve()
+    entries: list[BaselineEntry] = []
+    for d in result.diagnostics + result.baselined:
+        try:
+            lines = (root / d.path).read_text().splitlines()
+        except OSError:
+            lines = []
+        entries.append(
+            BaselineEntry(
+                fingerprint(d, _line_text(lines, d.line)),
+                d.rule,
+                d.path,
+                justification,
+            )
+        )
+    Baseline(entries).save(baseline_path)
+    return len(entries)

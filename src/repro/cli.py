@@ -18,6 +18,7 @@ Usage::
     python -m repro.cli serve --pool process --max-queue 64 --request-timeout 30 \
         --max-retries 2 --no-respawn                        # fault-tolerance knobs
     python -m repro.cli compile --metrics-json plan_metrics.json
+    python -m repro.cli lint --strict        # runtime invariant linter
 
 Compiled plans persist across restarts: ``compile --autotune --save-plan
 plan.npz`` pays decomposition + tuning once and writes a digest-keyed
@@ -410,14 +411,26 @@ RUNTIME_COMMANDS: dict[str, tuple[Callable[[argparse.Namespace], str], str]] = {
     "serve": (_serve, "micro-batched serving demo over a compiled plan"),
 }
 
+# Tooling subcommands own their full argv (their flag sets don't overlap the
+# experiment flags above), so they dispatch before the experiment parser runs.
+TOOL_COMMANDS: dict[str, str] = {
+    "lint": "run the runtime invariant linter (same as python -m repro.lint)",
+}
+
 
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "lint":
+        from repro.lint import main as lint_main
+
+        return lint_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro", description="Regenerate the paper's tables and figures."
     )
     parser.add_argument(
         "experiment",
-        help="one of: list, all, " + ", ".join(list(COMMANDS) + list(RUNTIME_COMMANDS)),
+        help="one of: list, all, "
+        + ", ".join(list(COMMANDS) + list(RUNTIME_COMMANDS) + list(TOOL_COMMANDS)),
     )
     parser.add_argument("--batch", type=int, default=1, help="batch size where applicable")
     parser.add_argument(
@@ -547,6 +560,8 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.experiment == "list":
         for name, (_, desc) in {**COMMANDS, **RUNTIME_COMMANDS}.items():
+            print(f"{name:8s} {desc}")
+        for name, desc in TOOL_COMMANDS.items():
             print(f"{name:8s} {desc}")
         return 0
     if args.experiment == "all":

@@ -1,0 +1,153 @@
+"""``python -m repro.lint`` — run the invariant checkers over the repo.
+
+Usage::
+
+    python -m repro.lint                      # lint src/ tests/ benchmarks/
+    python -m repro.lint src/repro/runtime    # or any explicit paths
+    python -m repro.lint --strict             # + fail on stale baseline
+    python -m repro.lint --json               # machine-readable findings
+    python -m repro.lint --list-rules         # the rule catalog
+    python -m repro.lint --update-baseline    # accept current findings
+
+Exit codes: 0 clean, 1 findings (or stale baseline under ``--strict``),
+2 usage/internal error.  See ``src/repro/analysis/README.md`` for the
+rule catalog and the suppression/baseline workflow.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.analysis import all_rules
+from repro.analysis.engine import lint_paths, update_baseline
+
+DEFAULT_PATHS = ("src", "tests", "benchmarks")
+DEFAULT_BASELINE = "lint-baseline.json"
+DEFAULT_CACHE = ".lint-cache.json"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="AST-based invariant linter for the serving runtime",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help=f"files/directories to lint (default: {' '.join(DEFAULT_PATHS)})",
+    )
+    parser.add_argument(
+        "--root",
+        default=None,
+        help="repo root for relative paths in reports (default: cwd)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="also fail on stale baseline entries (the ratchet)",
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        dest="rules",
+        metavar="RULE",
+        help="only run the named rule (repeatable)",
+    )
+    parser.add_argument("--baseline", default=None, metavar="PATH")
+    parser.add_argument("--cache", default=None, metavar="PATH")
+    parser.add_argument("--no-cache", action="store_true")
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="write all current findings to the baseline file and exit",
+    )
+    parser.add_argument("--json", action="store_true", dest="as_json")
+    parser.add_argument("--list-rules", action="store_true")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule, desc in sorted(all_rules().items()):
+            print(f"{rule:16s} {desc}")
+        return 0
+
+    root = Path(args.root or Path.cwd()).resolve()
+    paths = [Path(p) for p in args.paths] or [
+        root / p for p in DEFAULT_PATHS if (root / p).is_dir()
+    ]
+    if not paths:
+        print("lint: no paths to lint", file=sys.stderr)
+        return 2
+    rules = set(args.rules) if args.rules else None
+    if rules is not None:
+        unknown = rules - set(all_rules())
+        if unknown:
+            print(f"lint: unknown rule(s): {', '.join(sorted(unknown))}", file=sys.stderr)
+            return 2
+    baseline = Path(args.baseline) if args.baseline else root / DEFAULT_BASELINE
+    cache = Path(args.cache) if args.cache else root / DEFAULT_CACHE
+
+    start = time.perf_counter()
+    result = lint_paths(
+        paths,
+        root=root,
+        baseline_path=baseline,
+        cache_path=cache,
+        use_cache=not args.no_cache,
+        rules=rules,
+    )
+    elapsed = time.perf_counter() - start
+
+    if args.update_baseline:
+        count = update_baseline(result, baseline, root=root)
+        print(f"lint: wrote {count} entries to {baseline}")
+        return 0
+
+    if args.as_json:
+        print(
+            json.dumps(
+                {
+                    "findings": [d.to_json() for d in result.diagnostics],
+                    "baselined": [d.to_json() for d in result.baselined],
+                    "stale_baseline": [e.fingerprint for e in result.stale_baseline],
+                    "errors": result.errors,
+                    "files": result.files,
+                    "cache_hits": result.cache_hits,
+                    "seconds": round(elapsed, 3),
+                },
+                indent=2,
+            )
+        )
+    else:
+        for err in result.errors:
+            print(f"ERROR {err}")
+        for d in result.diagnostics:
+            print(d.render())
+        if args.strict:
+            for e in result.stale_baseline:
+                print(
+                    f"STALE baseline entry {e.fingerprint} [{e.rule}] {e.path}: "
+                    "the finding no longer exists — remove it (the ratchet "
+                    "only tightens)"
+                )
+        summary = (
+            f"lint: {result.files} files, {result.cache_hits} cached, "
+            f"{len(result.diagnostics)} finding(s), "
+            f"{len(result.baselined)} baselined, "
+            f"{len(result.stale_baseline)} stale baseline entr(y/ies) "
+            f"in {elapsed:.2f}s"
+        )
+        print(summary)
+
+    if result.diagnostics or result.errors:
+        return 1
+    if args.strict and result.stale_baseline:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -124,14 +124,17 @@ class Autoscaler:
         self._util_fn = util_fn or getattr(pool, "utilization", None) or (lambda: 0.0)
         self._scale_fn = scale_fn or engine.scale_to
         self._clock = clock or time.monotonic
-        self._current = self._clamp(getattr(engine, "workers", min_workers) or min_workers)
-        self._high_streak = 0
-        self._low_streak = 0
-        self._cooldown_until = float("-inf")
+        # Controller state: ticks can come from the background thread and
+        # from direct tick() callers (tests, manual drives) concurrently.
+        self._tick_lock = threading.Lock()
+        self._current = self._clamp(getattr(engine, "workers", min_workers) or min_workers)  # guarded-by: _tick_lock
+        self._high_streak = 0  # guarded-by: _tick_lock
+        self._low_streak = 0  # guarded-by: _tick_lock
+        self._cooldown_until = float("-inf")  # guarded-by: _tick_lock
         self._thread: "threading.Thread | None" = None
         self._stop = threading.Event()
         # Bounded event log: (clock time, direction, from, to).
-        self.events: list[tuple[float, str, int, int]] = []
+        self.events: list[tuple[float, str, int, int]] = []  # guarded-by: _tick_lock
 
     # ------------------------------------------------------------------ #
     def _clamp(self, n: int) -> int:
@@ -140,7 +143,8 @@ class Autoscaler:
     @property
     def target(self) -> int:
         """The controller's current worker-count target."""
-        return self._current
+        with self._tick_lock:
+            return self._current
 
     def tick(self) -> "str | None":
         """One observation → at most one scale decision.
@@ -151,26 +155,30 @@ class Autoscaler:
         """
         depth = float(self._depth_fn())
         util = float(self._util_fn())
-        # Streaks first: hysteresis state advances even inside cooldown,
-        # so sustained pressure acts the moment the cooldown lifts.
-        if depth > self.high_depth or util > self.high_util:
-            self._high_streak += 1
-            self._low_streak = 0
-        elif depth <= self.low_depth and util <= self.low_util:
-            self._low_streak += 1
-            self._high_streak = 0
-        else:
-            self._high_streak = 0
-            self._low_streak = 0
-        now = self._clock()
-        if now < self._cooldown_until:
+        with self._tick_lock:
+            # Streaks first: hysteresis state advances even inside cooldown,
+            # so sustained pressure acts the moment the cooldown lifts.
+            if depth > self.high_depth or util > self.high_util:
+                self._high_streak += 1
+                self._low_streak = 0
+            elif depth <= self.low_depth and util <= self.low_util:
+                self._low_streak += 1
+                self._high_streak = 0
+            else:
+                self._high_streak = 0
+                self._low_streak = 0
+            now = self._clock()
+            if now < self._cooldown_until:
+                return None
+            if self._high_streak >= self.breach_ticks and self._current < self.max_workers:
+                return self._apply("up", self._clamp(self._current + self.step), now)
+            if self._low_streak >= self.breach_ticks and self._current > self.min_workers:
+                return self._apply("down", self._clamp(self._current - self.step), now)
             return None
-        if self._high_streak >= self.breach_ticks and self._current < self.max_workers:
-            return self._apply("up", self._clamp(self._current + self.step), now)
-        if self._low_streak >= self.breach_ticks and self._current > self.min_workers:
-            return self._apply("down", self._clamp(self._current - self.step), now)
-        return None
 
+    # lint: disable=guarded-field — _tick_lock is held by the only caller,
+    # tick(); the actuator call stays under it so concurrent ticks cannot
+    # interleave two resizes
     def _apply(self, direction: str, target: int, now: float) -> "str | None":
         if target == self._current:
             return None
@@ -189,10 +197,11 @@ class Autoscaler:
         while not self._stop.wait(self.interval):
             try:
                 self.tick()
-            except Exception:
-                # A transient signal/actuator failure (pool mid-swap,
-                # engine stopping) must not kill the controller; the next
-                # tick re-observes.
+            except (RuntimeError, ValueError, OSError, TimeoutError):
+                # A transient signal/actuator failure (pool mid-swap or
+                # degraded, engine stopping, shm pressure) must not kill
+                # the controller; the next tick re-observes.  Every typed
+                # runtime error derives from one of these bases.
                 continue
 
     def start(self) -> "Autoscaler":

@@ -28,6 +28,7 @@ from multiprocessing import resource_tracker, shared_memory
 
 import numpy as np
 
+from repro.analysis.annotations import cross_process
 from repro.core.series import TASDConfig
 from repro.core.sparse_ops import (
     CompressedNM,
@@ -170,12 +171,13 @@ class OperandCache:
             raise ValueError(f"cache capacity must be positive, got {capacity}")
         self.capacity = capacity
         self.counters = CacheCounters()
-        self._store: OrderedDict[tuple, object] = OrderedDict()
+        self._store: OrderedDict[tuple, object] = OrderedDict()  # guarded-by: _lock
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
     def __len__(self) -> int:
-        return len(self._store)
+        with self._lock:
+            return len(self._store)
 
     def clear(self) -> None:
         with self._lock:
@@ -194,6 +196,8 @@ class OperandCache:
             "hit_rate": self.counters.hit_rate,
         }
 
+    # lint: disable=guarded-field — _lock is held by every caller
+    # (_get_or_build and adopt take it around the insert)
     def _insert(self, key: tuple, value: object) -> None:
         """Store ``key`` and evict LRU entries past capacity.  Lock held by caller."""
         self._store[key] = value
@@ -281,6 +285,7 @@ class OperandCache:
 _SHM_ALIGN = 64  # cache-line alignment for every array placed in a segment
 
 
+@cross_process
 @dataclass(frozen=True)
 class SharedArrayRef:
     """Where one array lives inside a shared segment — picklable, tiny."""
@@ -310,6 +315,9 @@ def _attach_segment(name: str) -> shared_memory.SharedMemory:
     shm = shared_memory.SharedMemory(name=name)
     try:
         resource_tracker.unregister(shm._name, "shared_memory")
+    # lint: disable=broad-except — tracker internals differ across
+    # platforms/Python versions; a failed unregister only risks an early
+    # unlink warning, never correctness
     except Exception:  # pragma: no cover - tracker variants across platforms
         pass
     return shm
@@ -401,6 +409,8 @@ class SharedOperandStore:
             # the tracker's books balanced on every start method.
             try:
                 resource_tracker.register(self._shm._name, "shared_memory")
+            # lint: disable=broad-except — best-effort book-balancing for
+            # the resource tracker; the unlink below still runs either way
             except Exception:  # pragma: no cover - tracker variants
                 pass
             try:
@@ -417,5 +427,7 @@ class SharedOperandStore:
     def __del__(self) -> None:  # pragma: no cover - GC safety net
         try:
             self.unlink() if self._owner else self.close()
+        # lint: disable=broad-except — __del__ runs during interpreter
+        # teardown where raising is forbidden and modules may be half-gone
         except Exception:
             pass

@@ -34,6 +34,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.analysis.annotations import cross_process
+
 __all__ = [
     "CHAOS_EXIT_CODE",
     "ChaosSpec",
@@ -48,6 +50,7 @@ __all__ = [
 CHAOS_EXIT_CODE = 137
 
 
+@cross_process
 @dataclass(frozen=True)
 class ChaosSpec:
     """A deterministic fault program for one pool worker process.
@@ -221,6 +224,8 @@ class ChaosMonkey:
     def start(self, interval: float = 1.0) -> "ChaosMonkey":
         """Kill one worker every ``interval`` seconds until :meth:`stop`."""
         if self._thread is not None:
+            # lint: disable=typed-raise — programmer-error guard (double
+            # start), not a serving-path failure; no typed class fits
             raise RuntimeError("chaos monkey already running")
         self._stop.clear()
 

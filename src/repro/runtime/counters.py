@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.analysis.annotations import cross_process
+
 from .metrics import Histogram
 
 __all__ = [
@@ -50,9 +52,15 @@ class CacheCounters:
         )
 
 
+@cross_process
 @dataclass
 class LayerCounters:
-    """Per-layer execution counters accumulated by a :class:`LayerPlan`."""
+    """Per-layer execution counters accumulated by a :class:`LayerPlan`.
+
+    Shipped across the process-pool pipe with every ``run`` reply, so every
+    field must stay transitively picklable (the ``cross-process`` lint rule
+    enforces it; :class:`Histogram` participates via its state dunders).
+    """
 
     calls: int = 0
     structured_macs: int = 0  # MACs actually executed (compressed slots)

@@ -263,7 +263,7 @@ class MetricFamily:
         self.help = help
         self.label_names = tuple(label_names)
         self._buckets = tuple(buckets)
-        self._children: dict[tuple[str, ...], object] = {}
+        self._children: dict[tuple[str, ...], object] = {}  # guarded-by: _lock
         self._lock = threading.Lock()
 
     def _make_child(self):
@@ -316,7 +316,7 @@ class MetricsRegistry:
     """
 
     def __init__(self) -> None:
-        self._families: dict[str, MetricFamily] = {}
+        self._families: dict[str, MetricFamily] = {}  # guarded-by: _lock
         self._lock = threading.Lock()
 
     def _register(self, kind: str, name: str, help: str, labels, buckets=LATENCY_BUCKETS) -> MetricFamily:
@@ -595,9 +595,14 @@ class MetricsServer:
                         self._reply(200, "text/plain; charset=utf-8", body)
                     else:
                         self._reply(404, "text/plain", f"unknown path {path}\n")
-                except Exception as exc:  # a broken callable must not hang scrapes
+                # lint: disable=broad-except — a broken snapshot/health
+                # callable must surface as a 500, never kill the handler
+                # thread (scrapes would hang forever)
+                except Exception as exc:
                     try:
                         self._reply(500, "text/plain", f"{type(exc).__name__}: {exc}\n")
+                    # lint: disable=broad-except — the client disconnected
+                    # mid-error-reply; nothing left to tell it
                     except Exception:  # pragma: no cover - client went away
                         pass
 

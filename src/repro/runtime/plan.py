@@ -44,6 +44,8 @@ from repro.tasder.transform import (
 )
 from repro.tensor.blocks import pad_to_multiple
 
+from repro.analysis.annotations import hot_path
+
 from .autotune import AutotuneResult, autotune_operand
 from .backends import DEFAULT_BACKEND, get_backend
 from .cache import CompiledOperand, OperandCache, tensor_digest
@@ -110,6 +112,7 @@ class LayerPlan:
         return decompose_activation(x, self.activation_config, self.activation_axis)
 
     # ------------------------------------------------------------------ #
+    @hot_path
     def gemm(self, x2: np.ndarray) -> np.ndarray:
         """Execute this layer's GEMM: ``x2 @ W_eff.T`` through the plan."""
         t0 = time.perf_counter()

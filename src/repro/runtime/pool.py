@@ -57,6 +57,7 @@ import traceback
 
 import numpy as np
 
+from repro.analysis.annotations import hot_path
 from repro.nn.module import Module
 
 from .counters import ExecutorStats, LayerCounters, WorkerStat
@@ -255,19 +256,19 @@ class ThreadWorkerPool(WorkerPool):
         self.plan = plan
         self.workers = workers
         self._pool: "queue.Queue[Module]" = queue.Queue()
-        self._replica_plans: list[dict[str, LayerPlan]] = []
-        self._installed = False
+        self._replica_plans: list[dict[str, LayerPlan]] = []  # guarded-by: _state_lock
+        self._installed = False  # guarded-by: _state_lock
         self._state_lock = threading.Lock()
         self._stats_lock = threading.Lock()
-        self._batches = 0
-        self._samples = 0
-        self._wall_time = 0.0
+        self._batches = 0  # guarded-by: _stats_lock
+        self._samples = 0  # guarded-by: _stats_lock
+        self._wall_time = 0.0  # guarded-by: _stats_lock
         # Worker identity for telemetry: uid per replica, unique across
         # generations; request counts survive close() like the counters do.
         self._uids = itertools.count()
-        self._replica_uid: dict[int, int] = {}  # id(replica) -> uid
-        self._worker_requests: dict[int, int] = {}
-        self._current_uids: set[int] = set()
+        self._replica_uid: dict[int, int] = {}  # guarded-by: _stats_lock
+        self._worker_requests: dict[int, int] = {}  # guarded-by: _stats_lock
+        self._current_uids: set[int] = set()  # guarded-by: _stats_lock
 
     # ------------------------------------------------------------------ #
     def _build_replica(
@@ -292,6 +293,8 @@ class ThreadWorkerPool(WorkerPool):
         replica.eval()
         return replica, layer_plans
 
+    # lint: disable=guarded-field — every caller (install/scale_to/swap_plan)
+    # already holds _state_lock around the _replica_plans append
     def _enroll_replica(self, replica: Module, layer_plans: dict[str, LayerPlan]) -> None:
         """Register one built replica: uid, telemetry, the checkout pool."""
         uid = next(self._uids)
@@ -335,6 +338,7 @@ class ThreadWorkerPool(WorkerPool):
             self._installed = False
 
     # ------------------------------------------------------------------ #
+    @hot_path
     def run(self, x: np.ndarray) -> np.ndarray:
         """One timed forward on whichever replica is free first.
 
@@ -360,9 +364,11 @@ class ThreadWorkerPool(WorkerPool):
             y = replica(x)
             elapsed = time.perf_counter() - t0
         finally:
-            uid = self._replica_uid.get(id(replica))
             self._pool.put(replica)
         with self._stats_lock:
+            # uid looked up under the lock: a concurrent close() popping the
+            # mapping mid-read would otherwise race this .get().
+            uid = self._replica_uid.get(id(replica))
             self._batches += 1
             self._samples += int(x.shape[0])
             self._wall_time += elapsed
@@ -399,8 +405,10 @@ class ThreadWorkerPool(WorkerPool):
         )
 
     def worker_stats(self) -> list[WorkerStat]:
+        with self._state_lock:
+            installed = self._installed
         with self._stats_lock:
-            current, installed = set(self._current_uids), self._installed
+            current = set(self._current_uids)
             return [
                 WorkerStat(uid=uid, alive=installed and uid in current, requests=n)
                 for uid, n in sorted(self._worker_requests.items())
@@ -489,6 +497,7 @@ class ThreadWorkerPool(WorkerPool):
 # ---------------------------------------------------------------------- #
 # Process pool: one worker process per worker, shared-memory operands
 # ---------------------------------------------------------------------- #
+@hot_path
 def _pool_worker_main(conn, model_payload: bytes, spec: dict, chaos=None) -> None:
     """Entry point of one pool worker process.
 
@@ -519,7 +528,9 @@ def _pool_worker_main(conn, model_payload: bytes, spec: dict, chaos=None) -> Non
         plan, store = attach_plan(spec, cache=OperandCache())
         plan.install(model)
         model.eval()
-    except Exception as exc:  # surface install failures to the parent
+    # lint: disable=broad-except — any install failure is shipped to the
+    # parent as a ("fail", reason) message; the worker must not die silently
+    except Exception as exc:
         try:
             conn.send(("fail", f"{type(exc).__name__}: {exc}"))
         finally:
@@ -548,11 +559,16 @@ def _pool_worker_main(conn, model_payload: bytes, spec: dict, chaos=None) -> Non
                         name: lp.counters.snapshot() for name, lp in plan.layers.items()
                     }
                     conn.send(("ok", (y, elapsed, counters)))
+                # lint: disable=broad-except — every request failure is
+                # shipped to the parent as ("err", exc, tb); the serving loop
+                # must survive any single bad request
                 except Exception as exc:
                     tb = traceback.format_exc()
                     try:
                         conn.send(("err", (exc, tb)))
-                    except Exception:  # unpicklable exception object
+                    # lint: disable=broad-except — unpicklable exception
+                    # object: degrade to a string-carrying RuntimeError
+                    except Exception:
                         conn.send(("err", (RuntimeError(f"{type(exc).__name__}: {exc}"), tb)))
             elif cmd == "probe":
                 # Canary forward: same kernels as "run", but no chaos
@@ -561,6 +577,8 @@ def _pool_worker_main(conn, model_payload: bytes, spec: dict, chaos=None) -> Non
                 # fault-injection schedules or serving telemetry.
                 try:
                     conn.send(("ok", model(payload)))
+                # lint: disable=broad-except — canary failures are shipped to
+                # the parent, which turns them into a typed SwapRejected
                 except Exception as exc:
                     tb = traceback.format_exc()
                     conn.send(("err", (RuntimeError(f"{type(exc).__name__}: {exc}"), tb)))
@@ -576,6 +594,8 @@ def _pool_worker_main(conn, model_payload: bytes, spec: dict, chaos=None) -> Non
                 try:
                     new_plan, new_store = attach_plan(payload, cache=OperandCache())
                     new_plan.install(model)
+                # lint: disable=broad-except — attach/install failures are
+                # shipped to the parent, which rolls the fleet back typed
                 except Exception as exc:
                     tb = traceback.format_exc()
                     plan.install(model)  # a partial install must not serve
@@ -706,7 +726,7 @@ class ProcessWorkerPool(WorkerPool):
         self._store = None
         self._spec: dict | None = None  # shared-plan spec, reused by respawns
         self._payload: bytes | None = None  # pickled model, reused by respawns
-        self._installed = False
+        self._installed = False  # guarded-by: _state_lock
         self._state_lock = threading.Lock()
         self._stats_lock = threading.Lock()
         # Zero-downtime operations: one swap/scale at a time, and the
@@ -714,29 +734,32 @@ class ProcessWorkerPool(WorkerPool):
         # respawn mid-roll would come up on an ambiguous plan spec).
         self._ops_lock = threading.Lock()
         self._ops_pause = threading.Event()
-        self._live = 0  # workers that will eventually return to the free queue
+        # Workers that will eventually return to the free queue.
+        self._live = 0  # guarded-by: _stats_lock
         self._uids = itertools.count()
-        self._batches = 0
-        self._samples = 0
-        self._wall_time = 0.0
+        self._batches = 0  # guarded-by: _stats_lock
+        self._samples = 0  # guarded-by: _stats_lock
+        self._wall_time = 0.0  # guarded-by: _stats_lock
         # Latest cumulative per-layer counters per worker uid.  Kept across
         # close() so stats survive it (old generations merge with new ones,
         # exactly like the thread pool's retained replica plans).
-        self._counter_snapshots: dict[int, dict[str, LayerCounters]] = {}
+        self._counter_snapshots: dict[int, dict[str, LayerCounters]] = {}  # guarded-by: _stats_lock
         # Telemetry: liveness + served-forward count per worker uid.  Kept
         # across close() too, so a scrape can still see retired workers.
-        self._worker_alive: dict[int, bool] = {}
-        self._worker_requests: dict[int, int] = {}
+        self._worker_alive: dict[int, bool] = {}  # guarded-by: _stats_lock
+        self._worker_requests: dict[int, int] = {}  # guarded-by: _stats_lock
         # Live workers of the current generation, uid -> handle (busy ones
         # included — they are checked out of the free queue but not gone).
-        self._procs: dict[int, _ProcWorker] = {}
+        self._procs: dict[int, _ProcWorker] = {}  # guarded-by: _stats_lock
         # Supervision state.  respawns/deaths are cumulative (telemetry
-        # counters); _respawn_times is the breaker's sliding window.
+        # counters); _respawn_times, _backoff, and _next_respawn_at are
+        # touched only by the supervisor thread (single-writer, no lock) —
+        # install() resets them strictly before the supervisor starts.
         self._supervisor: threading.Thread | None = None
         self._closing = threading.Event()  # also stops the supervisor
         self._wake = threading.Event()  # a death wants prompt supervision
         self._respawn_times: collections.deque[float] = collections.deque()
-        self._breaker_open = False
+        self._breaker_open = False  # guarded-by: _stats_lock
         self._backoff = respawn_backoff
         self._next_respawn_at = 0.0  # monotonic time the backoff gate opens
         self.respawns = 0
@@ -821,7 +844,8 @@ class ProcessWorkerPool(WorkerPool):
             # Fresh generation, fresh breaker: the crash history of a closed
             # generation should not pre-trip the new one.
             self._respawn_times.clear()
-            self._breaker_open = False
+            with self._stats_lock:
+                self._breaker_open = False
             self._backoff = self.respawn_backoff
             self._next_respawn_at = 0.0
             self._installed = True
@@ -866,6 +890,8 @@ class ProcessWorkerPool(WorkerPool):
         with self._stats_lock:
             if self._breaker_open:
                 return True
+            # lint: disable=guarded-field — racy read of _installed is
+            # benign here: close() flips it only after the fleet stops
             return self._live == 0 and self._installed and not self.respawn
 
     def worker_pids(self) -> list[int]:
@@ -879,7 +905,8 @@ class ProcessWorkerPool(WorkerPool):
         while self._respawn_times and now - self._respawn_times[0] > self.respawn_window:
             self._respawn_times.popleft()
         if len(self._respawn_times) > self.max_respawns:
-            self._breaker_open = True
+            with self._stats_lock:
+                self._breaker_open = True
             return True
         return False
 
@@ -914,7 +941,9 @@ class ProcessWorkerPool(WorkerPool):
         """Bring the pool back toward its configured size, gated by the
         exponential backoff and the crash-loop circuit breaker."""
         now = time.monotonic()
-        if self._breaker_open or now < self._next_respawn_at:
+        with self._stats_lock:
+            breaker_open = self._breaker_open
+        if breaker_open or now < self._next_respawn_at:
             return
         with self._stats_lock:
             deficit = self.workers - self._live
@@ -929,9 +958,10 @@ class ProcessWorkerPool(WorkerPool):
                 return
             try:
                 worker = self._start_worker()
+            # lint: disable=broad-except — a failed respawn (whatever the
+            # cause) is a crash-loop signal: back off harder and try again
+            # at the next supervision tick
             except Exception:
-                # A failed respawn is a crash-loop signal too: back off
-                # harder and try again at the next supervision tick.
                 self._backoff = min(self._backoff * 2.0, self.backoff_cap)
                 self._next_respawn_at = time.monotonic() + self._backoff
                 return
@@ -1021,6 +1051,7 @@ class ProcessWorkerPool(WorkerPool):
             self._installed = False
 
     # ------------------------------------------------------------------ #
+    @hot_path
     def run(self, x: np.ndarray) -> np.ndarray:
         """One timed forward on whichever worker process frees first.
 
@@ -1056,6 +1087,9 @@ class ProcessWorkerPool(WorkerPool):
                     # Wedged worker: no reply within the budget.  Kill it —
                     # its eventual reply (if any) can never be trusted to
                     # pair with the right request again.
+                    # lint: disable=typed-raise — internal sentinel, caught
+                    # three lines below; callers only ever see the typed
+                    # WorkerCrashError it is converted into
                     raise _WorkerTimeout()
             tag, payload = worker.conn.recv()
             healthy = True
@@ -1176,7 +1210,9 @@ class ProcessWorkerPool(WorkerPool):
                 worker = self._free.get(timeout=0.5)
             except queue.Empty:
                 continue  # pending workers are busy serving; wait them out
-            if worker.uid in done or not self._worker_alive.get(worker.uid, False):
+            with self._stats_lock:
+                alive = self._worker_alive.get(worker.uid, False)
+            if worker.uid in done or not alive:
                 self._free.put(worker)
                 # Cap the put/get spin while only handled workers are idle
                 # and a pending one is mid-request.

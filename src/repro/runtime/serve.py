@@ -54,6 +54,8 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.analysis.annotations import hot_path
+
 from .counters import RequestStats, ServeReport, WorkerStat
 from .executor import PlanExecutor
 from .metrics import (
@@ -67,7 +69,14 @@ from .metrics import (
 from .pool import PlanSwapError, PoolDegradedError, WorkerCrashError, WorkerPool
 from .tracing import RequestTrace, TraceBuffer
 
-__all__ = ["DeadlineExceeded", "QueueFull", "SwapRejected", "ServingEngine"]
+__all__ = ["DeadlineExceeded", "EngineStopped", "QueueFull", "SwapRejected", "ServingEngine"]
+
+
+class EngineStopped(RuntimeError):
+    """The engine is not running: :meth:`ServingEngine.submit` was called
+    before :meth:`ServingEngine.start` or after :meth:`ServingEngine.stop`.
+    Subclasses :class:`RuntimeError` so pre-existing ``except RuntimeError``
+    callers keep working."""
 
 
 class QueueFull(RuntimeError):
@@ -186,13 +195,16 @@ class ServingEngine:
         # Degradation state: once the pool collapses past its breaker the
         # engine pins itself to the in-process fallback (the pool cannot
         # self-heal past an open breaker, so probing it again is pointless).
+        # _degraded is a monotonic latch (False -> True, never back): any
+        # worker thread may flip it in _note_degraded and everyone else
+        # reads it unlocked, which is benign for a single GIL-atomic bool.
         self._degraded = False
-        self._fallback_pool: "WorkerPool | None" = None
+        self._fallback_pool: "WorkerPool | None" = None  # guarded-by: _fallback_lock
         self._fallback_lock = threading.Lock()
         self._queue: "queue.Queue[_Request | None]" = queue.Queue()
         self._threads: list[threading.Thread] = []
         self._ids = itertools.count()
-        self._running = False
+        self._running = False  # guarded-by: _state_lock
         # Makes {check _running, enqueue} atomic against stop()'s flip, so a
         # submit racing a concurrent stop() either lands before the shutdown
         # sentinels (and is served) or raises — never a stranded future.
@@ -204,22 +216,22 @@ class ServingEngine:
         # lock at every enqueue/dequeue, so the max_queue bound, the
         # autoscaler's depth signal, and the tasd_serve_queue_depth gauge
         # all see the same exact value.
-        self._depth = 0
+        self._depth = 0  # guarded-by: _depth_lock
         self._depth_lock = threading.Lock()
         # Drain machinery: _pending counts admitted-but-unresolved requests;
         # its condition wakes drain() when the last one resolves.  While
         # _draining is set, submit() sheds at the door and /healthz reports
         # "draining".
-        self._pending = 0
+        self._pending = 0  # guarded-by: _pending_cond
         self._pending_cond = threading.Condition()
-        self._draining = False
+        self._draining = False  # guarded-by: _state_lock
         # Hot-swap machinery: one swap at a time, and the most recent
         # request input is retained as the default canary batch.
         self._swap_lock = threading.Lock()
-        self._last_input: "np.ndarray | None" = None
-        self._request_stats: list[RequestStats] = []
-        self._started_at = 0.0
-        self._stopped_at = 0.0
+        self._last_input: "np.ndarray | None" = None  # guarded-by: _state_lock
+        self._request_stats: list[RequestStats] = []  # guarded-by: _stats_lock
+        self._started_at = 0.0  # guarded-by: _state_lock
+        self._stopped_at = 0.0  # guarded-by: _state_lock
         self._traces = TraceBuffer(trace_capacity)
         if metrics is True:
             metrics = MetricsRegistry()
@@ -395,7 +407,7 @@ class ServingEngine:
                     "new requests are rejected"
                 )
             if not self._running:
-                raise RuntimeError("serving engine is not running; call start() first")
+                raise EngineStopped("serving engine is not running; call start() first")
             with self._depth_lock:
                 if self.max_queue is not None and self._depth >= self.max_queue:
                     if self.metrics is not None:
@@ -532,7 +544,11 @@ class ServingEngine:
                     )
             except PlanFormatError as exc:
                 reject(f"candidate plan's weight identity is unrecoverable: {exc}", exc)
-            canary_x = canary if canary is not None else self._last_input
+            if canary is not None:
+                canary_x = canary
+            else:
+                with self._state_lock:
+                    canary_x = self._last_input
             if canary_x is None:
                 reject(
                     "no canary batch available: pass canary= or serve at "
@@ -543,6 +559,7 @@ class ServingEngine:
                 t0 = time.perf_counter()
                 reference = self.executor.run(canary_x)
                 ref_elapsed = time.perf_counter() - t0
+            # lint: disable=broad-except — reject() raises typed SwapRejected
             except Exception as exc:
                 reject(f"live plan failed the canary batch; swap aborted: {exc}", exc)
 
@@ -590,13 +607,16 @@ class ServingEngine:
                 post_ok = np.allclose(
                     self.executor.run(canary_x), reference, rtol=rtol, atol=atol
                 )
+            # lint: disable=broad-except — captured into the typed reject() below
             except Exception as exc:
                 post_ok, post_error = False, exc
             if not post_ok:
                 try:
                     swap_fn(old_plan)  # roll the fleet back, no canary needed
+                # lint: disable=broad-except — best-effort rollback; the
+                # supervisor respawns onto whichever spec committed
                 except Exception:
-                    pass  # supervisor respawns onto whichever spec committed
+                    pass
                 reject(
                     "post-swap check failed: the swapped fleet no longer "
                     "reproduces the canary reference"
@@ -663,7 +683,8 @@ class ServingEngine:
     @property
     def running(self) -> bool:
         """True while the engine accepts and dispatches work."""
-        return self._running
+        with self._state_lock:
+            return self._running
 
     @property
     def queue_depth(self) -> int:
@@ -726,7 +747,7 @@ class ServingEngine:
                 try:
                     first = self._queue.get(timeout=0.05)
                 except queue.Empty:
-                    if not self._running:
+                    if not self.running:
                         return
                     continue
                 if first is None:
@@ -811,14 +832,40 @@ class ServingEngine:
                 return
             self._fail_batch(batch, exc, dispatched_at)
             return
+        # lint: disable=broad-except — captured into every batch future via
+        # _fail_batch; retrying a deterministic error would fail identically
         except Exception as exc:
-            # Deterministic execution errors (bad shape, backend bug) would
-            # fail identically on retry: fail the whole batch at once.
             self._fail_batch(batch, exc, dispatched_at)
             return
         done_at = time.perf_counter()
-        compute_time = done_at - dispatched_at
+        self._record_batch(batch, dispatched_at, done_at)
         offsets = np.cumsum([0] + sizes)
+        for req, lo, hi in zip(batch, offsets[:-1], offsets[1:]):
+            req.future.set_result(outputs[lo:hi])
+            self._request_resolved()
+            self._traces.record(
+                RequestTrace.from_timestamps(
+                    request_id=req.request_id,
+                    submitted_at=req.submitted_at,
+                    collected_at=req.collected_at,
+                    dispatched_at=dispatched_at,
+                    done_at=done_at,
+                    resolved_at=time.perf_counter(),
+                    batch_size=len(batch),
+                    samples=req.x.shape[0],
+                    attempts=req.attempts,
+                )
+            )
+
+    @hot_path
+    def _record_batch(self, batch: list[_Request], dispatched_at: float, done_at: float) -> None:
+        """Record one completed micro-batch's stats and metrics.
+
+        Runs once per micro-batch on the serving path, between compute and
+        reply, so it is fenced ``@hot_path``: no wall clock, no I/O, no
+        lock construction — only counter bumps and one guarded extend.
+        """
+        compute_time = done_at - dispatched_at
         batch_stats = [
             RequestStats(
                 request_id=req.request_id,
@@ -844,31 +891,18 @@ class ServingEngine:
                 self._m_samples.inc(stats.samples)
                 self._m_latency.observe(stats.latency)
                 self._m_queue_wait.observe(stats.queue_time)
-        for req, lo, hi in zip(batch, offsets[:-1], offsets[1:]):
-            req.future.set_result(outputs[lo:hi])
-            self._request_resolved()
-            self._traces.record(
-                RequestTrace.from_timestamps(
-                    request_id=req.request_id,
-                    submitted_at=req.submitted_at,
-                    collected_at=req.collected_at,
-                    dispatched_at=dispatched_at,
-                    done_at=done_at,
-                    resolved_at=time.perf_counter(),
-                    batch_size=len(batch),
-                    samples=req.x.shape[0],
-                    attempts=req.attempts,
-                )
-            )
 
     # ------------------------------------------------------------------ #
     # Recovery plumbing.
     # ------------------------------------------------------------------ #
     def _dispatch(self, inputs: np.ndarray) -> np.ndarray:
-        if self._degraded and self._fallback_pool is not None:
+        # lint: disable=guarded-field — set-once pointer published before
+        # _degraded flips; never rebound, so the unlocked read is stable
+        fallback = self._fallback_pool
+        if self._degraded and fallback is not None:
             if self.metrics is not None:
                 self._m_fallback.inc()
-            return self._fallback_pool.run(inputs)
+            return fallback.run(inputs)
         return self.executor.run(inputs)
 
     def _note_degraded(self) -> "WorkerPool | None":
@@ -881,6 +915,7 @@ class ServingEngine:
         """
         if not self._degraded and not getattr(self.executor, "degraded", False):
             return None
+        fallback: "WorkerPool | None" = None
         if self.fallback != "none" and not isinstance(self.executor, PlanExecutor):
             with self._fallback_lock:
                 if self._fallback_pool is None:
@@ -888,10 +923,10 @@ class ServingEngine:
                     plan = getattr(self.executor, "plan", None)
                     if model is not None and plan is not None:
                         self._fallback_pool = PlanExecutor(model, plan).install()
-        if self._fallback_pool is not None:
+                fallback = self._fallback_pool
+        if fallback is not None:
             self._degraded = True
-            return self._fallback_pool
-        return None
+        return fallback
 
     def _fail_deadline(self, req: _Request, now: float, batch_size: int) -> None:
         if self.metrics is not None:
@@ -974,14 +1009,18 @@ class ServingEngine:
         workers = self.worker_stats()
         alive = sum(1 for w in workers if w.alive)
         pool_degraded = self._degraded or bool(getattr(self.executor, "degraded", False))
-        if not self._running:
+        with self._state_lock:
+            running, draining = self._running, self._draining
+        if not running:
             status = "dead"
-        elif self._draining:
+        elif draining:
             # Still healthy — finishing admitted work, refusing new work.
             # Load balancers read this as "stop routing here" while the
             # scrape stays 200 (the server is leaving, not failing).
             status = "draining"
         elif pool_degraded:
+            # lint: disable=guarded-field — set-once pointer; a stale read
+            # only re-checks whether a fallback *could* be built, harmless
             can_fallback = self._degraded and self._fallback_pool is not None
             if not can_fallback:
                 can_fallback = self.fallback != "none" and not isinstance(
@@ -996,10 +1035,11 @@ class ServingEngine:
             status = "ok"
         return status != "dead", {
             "status": status,
-            "running": self._running,
+            "running": running,
             "workers_alive": alive,
             "workers_total": len(workers),
             "queue_depth": self.queue_depth,
+            # lint: disable=guarded-field — set-once pointer, snapshot read
             "fallback_active": self._fallback_pool is not None and self._degraded,
         }
 
@@ -1046,7 +1086,7 @@ class ServingEngine:
             self.queue_depth
         )
         registry.gauge("tasd_serve_running", "1 while the engine accepts requests").set(
-            1.0 if self._running else 0.0
+            1.0 if self.running else 0.0
         )
         registry.gauge(
             "tasd_serve_traces_dropped", "Traces discarded by the ring-buffer bound"

@@ -1,0 +1,291 @@
+"""Engine-level behavior: suppression scoping, the baseline ratchet,
+the content-digest cache, the CLI, and the linter's own gate over this
+repository (must be clean — the CI contract)."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Baseline, lint_paths, lint_source
+from repro.analysis.engine import update_baseline
+from repro.lint import main as lint_main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+BROAD = textwrap.dedent(
+    """
+    def swallow():
+        try:
+            work()
+        except Exception:
+            pass
+    """
+)
+
+CLEAN = textwrap.dedent(
+    """
+    def swallow():
+        try:
+            work()
+        except ValueError:
+            pass
+    """
+)
+
+
+# ---------------------------------------------------------------------- #
+# Suppression pragmas
+# ---------------------------------------------------------------------- #
+def test_line_pragma_suppresses_only_that_rule():
+    src = textwrap.dedent(
+        """
+        def swallow():
+            try:
+                work()
+            except Exception:  # lint: disable=broad-except — counted below
+                pass
+        """
+    )
+    assert lint_source(src) == []
+    # A pragma for a different rule does not suppress this one.
+    other = src.replace("disable=broad-except", "disable=hot-path")
+    assert [d.rule for d in lint_source(other)] == ["broad-except"]
+
+
+def test_comment_line_pragma_covers_next_code_line():
+    src = textwrap.dedent(
+        """
+        def swallow():
+            try:
+                work()
+            # lint: disable=broad-except — reason lives on its own line
+            except Exception:
+                pass
+        """
+    )
+    assert lint_source(src) == []
+
+
+def test_def_line_pragma_covers_whole_body():
+    src = textwrap.dedent(
+        """
+        # lint: disable=broad-except — this helper deliberately swallows
+        def swallow():
+            try:
+                work()
+            except Exception:
+                pass
+            try:
+                more()
+            except Exception:
+                pass
+        """
+    )
+    assert lint_source(src) == []
+
+
+def test_multi_rule_pragma():
+    src = textwrap.dedent(
+        """
+        import time
+        from repro.analysis.annotations import hot_path
+
+        @hot_path
+        def record():
+            try:
+                # lint: disable=hot-path,broad-except — fixture
+                return time.time()
+            except Exception:
+                pass
+        """
+    )
+    # The except line carries no pragma of its own; only hot-path's
+    # offending line is covered.
+    assert [d.rule for d in lint_source(src)] == ["broad-except"]
+
+
+# ---------------------------------------------------------------------- #
+# Baseline ratchet
+# ---------------------------------------------------------------------- #
+def test_baseline_absorbs_known_finding_and_flags_new_ones(tmp_path):
+    target = tmp_path / "mod.py"
+    target.write_text(BROAD)
+    baseline = tmp_path / "baseline.json"
+
+    first = lint_paths([target], root=tmp_path, use_cache=False)
+    assert [d.rule for d in first.diagnostics] == ["broad-except"]
+
+    update_baseline(first, baseline, root=tmp_path, justification="known debt")
+    entries = json.loads(baseline.read_text())["entries"]
+    assert len(entries) == 1 and entries[0]["justification"] == "known debt"
+
+    second = lint_paths([target], root=tmp_path, baseline_path=baseline, use_cache=False)
+    assert second.diagnostics == [] and len(second.baselined) == 1
+    assert second.stale_baseline == []
+
+    # A *new* violation in the same file is not covered by the old entry.
+    target.write_text(BROAD + BROAD.replace("swallow", "swallow_two"))
+    third = lint_paths([target], root=tmp_path, baseline_path=baseline, use_cache=False)
+    assert [d.qualname for d in third.diagnostics] == ["swallow_two"]
+    assert len(third.baselined) == 1
+
+
+def test_baseline_fingerprint_survives_line_drift(tmp_path):
+    target = tmp_path / "mod.py"
+    target.write_text(BROAD)
+    baseline = tmp_path / "baseline.json"
+    update_baseline(
+        lint_paths([target], root=tmp_path, use_cache=False), baseline, root=tmp_path
+    )
+    # Unrelated lines above shift the finding's line number; the
+    # fingerprint keys on (rule, path, qualname, line text), not number.
+    target.write_text("import os\nimport sys\n" + BROAD)
+    result = lint_paths([target], root=tmp_path, baseline_path=baseline, use_cache=False)
+    assert result.diagnostics == [] and len(result.baselined) == 1
+
+
+def test_ratchet_reports_stale_entries_once_fixed(tmp_path):
+    target = tmp_path / "mod.py"
+    target.write_text(BROAD)
+    baseline = tmp_path / "baseline.json"
+    update_baseline(
+        lint_paths([target], root=tmp_path, use_cache=False), baseline, root=tmp_path
+    )
+    target.write_text(CLEAN)
+    result = lint_paths([target], root=tmp_path, baseline_path=baseline, use_cache=False)
+    assert result.diagnostics == []
+    assert [e.rule for e in result.stale_baseline] == ["broad-except"]
+    # --strict turns the stale entry into a failing exit (the ratchet).
+    assert (
+        lint_main(
+            [str(target), "--root", str(tmp_path), "--baseline", str(baseline), "--no-cache"]
+        )
+        == 0
+    )
+    assert (
+        lint_main(
+            [
+                str(target),
+                "--root",
+                str(tmp_path),
+                "--baseline",
+                str(baseline),
+                "--no-cache",
+                "--strict",
+            ]
+        )
+        == 1
+    )
+
+
+def test_baseline_loader_rejects_unknown_version(tmp_path):
+    bad = tmp_path / "baseline.json"
+    bad.write_text(json.dumps({"version": 99, "entries": []}))
+    with pytest.raises(ValueError):
+        Baseline.load(bad)
+
+
+# ---------------------------------------------------------------------- #
+# Cache
+# ---------------------------------------------------------------------- #
+def test_cache_replays_unchanged_files_and_invalidates_on_edit(tmp_path):
+    target = tmp_path / "mod.py"
+    target.write_text(BROAD)
+    cache = tmp_path / "cache.json"
+
+    cold = lint_paths([target], root=tmp_path, cache_path=cache)
+    assert cold.cache_hits == 0 and len(cold.diagnostics) == 1
+
+    warm = lint_paths([target], root=tmp_path, cache_path=cache)
+    assert warm.cache_hits == 1
+    assert warm.diagnostics == cold.diagnostics
+
+    target.write_text(CLEAN)
+    edited = lint_paths([target], root=tmp_path, cache_path=cache)
+    assert edited.cache_hits == 0 and edited.diagnostics == []
+
+
+def test_cached_diagnostics_are_post_suppression(tmp_path):
+    target = tmp_path / "mod.py"
+    target.write_text(
+        BROAD.replace(
+            "except Exception:",
+            "except Exception:  # lint: disable=broad-except — fixture",
+        )
+    )
+    cache = tmp_path / "cache.json"
+    assert lint_paths([target], root=tmp_path, cache_path=cache).clean
+    warm = lint_paths([target], root=tmp_path, cache_path=cache)
+    assert warm.cache_hits == 1 and warm.clean
+
+
+# ---------------------------------------------------------------------- #
+# CLI
+# ---------------------------------------------------------------------- #
+def test_cli_exit_codes_and_json(tmp_path, capsys):
+    target = tmp_path / "mod.py"
+    target.write_text(BROAD)
+    args = [str(target), "--root", str(tmp_path), "--no-cache"]
+    assert lint_main(args) == 1
+    capsys.readouterr()
+    assert lint_main(args + ["--json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert [d["rule"] for d in payload["findings"]] == ["broad-except"]
+
+    target.write_text(CLEAN)
+    assert lint_main(args) == 0
+    assert lint_main(["--list-rules"]) == 0
+    assert lint_main([str(target), "--root", str(tmp_path), "--rule", "no-such-rule"]) == 2
+
+
+def test_cli_rule_filter(tmp_path, capsys):
+    target = tmp_path / "mod.py"
+    target.write_text(BROAD)
+    args = [str(target), "--root", str(tmp_path), "--no-cache"]
+    assert lint_main(args + ["--rule", "hot-path"]) == 0
+    assert lint_main(args + ["--rule", "broad-except"]) == 1
+    capsys.readouterr()
+
+
+def test_cli_update_baseline_roundtrip(tmp_path, capsys):
+    target = tmp_path / "mod.py"
+    target.write_text(BROAD)
+    baseline = tmp_path / "baseline.json"
+    args = [
+        str(target),
+        "--root",
+        str(tmp_path),
+        "--baseline",
+        str(baseline),
+        "--no-cache",
+    ]
+    assert lint_main(args + ["--update-baseline"]) == 0
+    assert lint_main(args + ["--strict"]) == 0
+    capsys.readouterr()
+
+
+def test_cli_syntax_error_is_a_finding(tmp_path, capsys):
+    target = tmp_path / "mod.py"
+    target.write_text("def broken(:\n")
+    assert lint_main([str(target), "--root", str(tmp_path), "--no-cache"]) == 1
+    assert "syntax error" in capsys.readouterr().out
+
+
+# ---------------------------------------------------------------------- #
+# Self-gate: this repository lints clean under --strict
+# ---------------------------------------------------------------------- #
+def test_repo_lints_clean_strict(tmp_path):
+    result = lint_paths(
+        [REPO_ROOT / p for p in ("src", "tests", "benchmarks")],
+        root=REPO_ROOT,
+        baseline_path=REPO_ROOT / "lint-baseline.json",
+        use_cache=False,
+    )
+    assert result.errors == []
+    assert result.diagnostics == [], "\n".join(d.render() for d in result.diagnostics)
+    assert result.stale_baseline == []
+    assert result.files > 100  # the sweep really covered the tree

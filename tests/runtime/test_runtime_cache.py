@@ -137,6 +137,8 @@ def _hammer(n_threads: int, work) -> None:
         try:
             barrier.wait()
             work(i)
+        # lint: disable=broad-except — captured (asserts included) for
+        # re-raise in the main thread; a raise here would vanish silently
         except BaseException as exc:  # pragma: no cover - only on test failure
             errors.append(exc)
 

@@ -156,6 +156,8 @@ class TestShareAttachPlan:
             "create",
             classmethod(lambda cls, arrays: (_ for _ in ()).throw(OSError("no shm"))),
         )
+        # lint: disable=shm-lifecycle — create() is monkeypatched to raise,
+        # so no segment exists; the returned store is asserted None below
         store, spec = share_plan(plan)
         assert store is None
         assert spec["segment"] is None and spec["inline"]
