@@ -7,5 +7,6 @@ from repro.analysis.checkers import (  # noqa: F401
     hotpath,
     locks,
     pickles,
+    shard,
     shm,
 )

@@ -1,0 +1,83 @@
+"""``shard-spec``: invariants of the intra-layer sharding subsystem.
+
+A shard table (:class:`~repro.runtime.shard.ShardSpec`) crosses the
+process boundary twice — pickled to pool workers inside plan specs and
+persisted into plan artifacts — so the class definition must carry
+``@cross_process`` (the contract the ``pickle-contract`` checker
+enforces for payload fields).  And the scatter/gather dispatch path runs
+inside every sharded forward, so its entry points must be fenced
+``@hot_path`` like the rest of the serving path:
+
+- ``run_sharded`` — the pool-level scatter/gather primitive;
+- ``shard_partial`` — the worker-side shard kernel;
+- ``_scatter_layer`` / ``_shard_slice_matmul`` — the per-layer dispatch
+  hooks the driver replica routes compiled GEMMs through.
+
+Both rules fire on the *definition*, wherever it lives: a new pool
+substrate adding an unfenced ``run_sharded``, or a shard-table class
+dropping its pickling contract, fails the lint gate instead of the perf
+fence (or a worker crash) later.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.core import Checker, Diagnostic, FileContext, register_checker
+
+_SHARD_CLASSES = {"ShardSpec"}
+_DISPATCH_FUNCTIONS = {
+    "run_sharded",
+    "shard_partial",
+    "_scatter_layer",
+    "_shard_slice_matmul",
+}
+
+
+def _decorator_names(node: ast.ClassDef | ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    names: set[str] = set()
+    for dec in node.decorator_list:
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        if isinstance(target, ast.Name):
+            names.add(target.id)
+        elif isinstance(target, ast.Attribute):
+            names.add(target.attr)
+    return names
+
+
+@register_checker
+class ShardChecker(Checker):
+    name = "shard-spec"
+    rules = ("shard-spec",)
+    description = (
+        "ShardSpec classes must be @cross_process and sharded "
+        "dispatch/gather paths must be @hot_path"
+    )
+
+    def check(self, ctx: FileContext) -> list[Diagnostic]:
+        diags: list[Diagnostic] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef) and node.name in _SHARD_CLASSES:
+                if "cross_process" not in _decorator_names(node):
+                    diags.append(
+                        ctx.diag(
+                            "shard-spec",
+                            node.lineno,
+                            f"class {node.name} is a shard table that crosses "
+                            "the process boundary (pool specs, plan artifacts) "
+                            "but is not decorated @cross_process",
+                        )
+                    )
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if node.name in _DISPATCH_FUNCTIONS:
+                    if "hot_path" not in _decorator_names(node):
+                        diags.append(
+                            ctx.diag(
+                                "shard-spec",
+                                node.lineno,
+                                f"{node.name}() is on the sharded dispatch/"
+                                "gather path (runs inside every sharded "
+                                "forward) but is not fenced @hot_path",
+                            )
+                        )
+        return diags

@@ -131,6 +131,18 @@ from .pool import (
 )
 from .replica import ReplicaExecutor
 from .serve import DeadlineExceeded, QueueFull, ServingEngine, SwapRejected
+from .shard import (
+    ShardDecision,
+    ShardSpec,
+    choose_shard_plan,
+    make_shard_spec,
+    partition_equal_nnz,
+    partition_equal_rows,
+    plan_shards,
+    row_nnz_profile,
+    row_nnz_stats,
+    slice_operand,
+)
 from .tracing import RequestTrace, Span, TraceBuffer
 
 __all__ = [
@@ -168,6 +180,8 @@ __all__ = [
     "RequestTrace",
     "ServeReport",
     "ServingEngine",
+    "ShardDecision",
+    "ShardSpec",
     "SharedArrayRef",
     "SharedOperandStore",
     "Span",
@@ -180,6 +194,7 @@ __all__ = [
     "attach_plan",
     "autotune_operand",
     "backend_names",
+    "choose_shard_plan",
     "compile_plan",
     "exact_backend_names",
     "export_executor_stats",
@@ -187,11 +202,18 @@ __all__ = [
     "is_poisoned",
     "load_plan",
     "make_pool",
+    "make_shard_spec",
     "merge_snapshots",
     "model_fingerprint",
+    "partition_equal_nnz",
+    "partition_equal_rows",
     "plan_fingerprint",
+    "plan_shards",
     "poison_batch",
+    "row_nnz_profile",
+    "row_nnz_stats",
     "skewed_plan",
+    "slice_operand",
     "register_backend",
     "render_prometheus",
     "retune_plan",

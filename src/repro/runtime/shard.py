@@ -1,0 +1,478 @@
+"""nnz-balanced intra-layer sharding: split one layer's GEMM across workers.
+
+Every parallel mode before this one is whole-model data parallelism — one
+request's forward runs on one worker, so a single big layer bounds
+single-request latency.  This module partitions a compiled layer's gather
+rows into K shards and lets the pools run the shards of *one* forward
+concurrently (the scatter/gather dispatch lives in ``pool.py``; this
+module owns the partitioning math and the shard-local compute).
+
+The split is by **nnz budget**, not row count: the TASD decomposition
+turns unstructured sparsity into N:M terms whose per-row population is
+highly skewed, so equal-row shards idle workers while one drags the
+critical path (SparseRT's load-balanced work assignment, paid once at
+specialization time, is the template).  A greedy prefix split over the
+cumulative per-row nnz gives every shard an (almost) equal share of the
+actual non-zeros.
+
+Balancing by nnz models kernels whose cost tracks true non-zeros — the
+``scatter-csr`` backend here, SpMM/warp kernels on real accelerators.
+The gather backends pay per *slot* (padding zeros included), so for them
+an equal-nnz split degenerates gracefully toward an equal-row split as
+skew vanishes.
+
+Bit-exactness: a shard computes output rows ``[start, stop)`` of the
+layer GEMM from row-sliced views of the already-shared gather tables.
+Row slicing preserves bits for every gather/CSR kernel (each output row's
+reduction is independent of its neighbours — the same doctrine
+``blocked-gather`` relies on), but **not** for dense BLAS GEMMs, whose
+internal blocking changes with the matrix shape.  Backends declare this
+via :attr:`GemmBackend.shard_safe`; layers on unsafe backends are never
+sharded, and a forced shard computes with the reference gather kernel.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Callable
+
+import numpy as np
+
+from repro.analysis.annotations import cross_process, hot_path
+
+from .backends import DEFAULT_BACKEND, get_backend
+from .cache import CompiledOperand
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .plan import ExecutionPlan, LayerPlan
+
+__all__ = [
+    "ShardSpec",
+    "ShardDecision",
+    "row_nnz_profile",
+    "row_nnz_stats",
+    "partition_equal_nnz",
+    "partition_equal_rows",
+    "make_shard_spec",
+    "slice_operand",
+    "shard_backend",
+    "shard_partial",
+    "plan_shards",
+    "choose_layer_shards",
+    "choose_shard_plan",
+    "median_time",
+]
+
+
+# ---------------------------------------------------------------------- #
+# Per-row nnz profiles
+# ---------------------------------------------------------------------- #
+def row_nnz_profile(operand: CompiledOperand) -> np.ndarray:
+    """Per-output-row non-zero count summed over all TASD terms.
+
+    This is the work profile the partitioner balances: entry ``r`` is the
+    number of stored values in row ``r`` across every term's compressed
+    table (padding slots hold exact zeros and do not count).
+    """
+    profile = np.zeros(operand.padded_shape[0], dtype=np.int64)
+    for vals in operand.flat_values:
+        profile += np.count_nonzero(vals, axis=1)
+    return profile
+
+
+def row_nnz_stats(operand: CompiledOperand) -> tuple[int, int, float, float]:
+    """``(total, max_row, mean_row, skew)`` of the per-row nnz profile.
+
+    ``skew`` is max-row over mean-row nnz — 1.0 means perfectly uniform
+    work per row (equal-row shards would already balance); large values
+    are exactly the layers where equal-nnz sharding pays.
+    """
+    profile = row_nnz_profile(operand)
+    total = int(profile.sum())
+    if profile.size == 0 or total == 0:
+        return total, 0, 0.0, 1.0
+    mean = total / profile.size
+    max_row = int(profile.max())
+    return total, max_row, mean, max_row / mean
+
+
+# ---------------------------------------------------------------------- #
+# Partitioners
+# ---------------------------------------------------------------------- #
+def partition_equal_rows(rows: int, k: int) -> tuple[tuple[int, int], ...]:
+    """Split ``[0, rows)`` into ``min(k, rows)`` near-equal row ranges."""
+    rows = int(rows)
+    if rows <= 0:
+        return ()
+    k = max(1, min(int(k), rows))
+    base, extra = divmod(rows, k)
+    ranges = []
+    start = 0
+    for i in range(k):
+        stop = start + base + (1 if i < extra else 0)
+        ranges.append((start, stop))
+        start = stop
+    return tuple(ranges)
+
+
+def partition_equal_nnz(profile, k: int) -> tuple[tuple[int, int], ...]:
+    """Greedy prefix split of the row axis into ``k`` equal-nnz shards.
+
+    Walks the cumulative per-row nnz and cuts at the row whose prefix sum
+    lands nearest each ideal boundary ``total * i / k``, clamped so every
+    shard keeps at least one row.  ``k`` clamps to the row count; a
+    profile with zero total nnz (all-empty rows) falls back to the
+    equal-row split.  The ranges tile ``[0, rows)`` exactly.
+    """
+    profile = np.asarray(profile, dtype=np.int64)
+    rows = int(profile.shape[0])
+    if rows <= 0:
+        return ()
+    k = max(1, min(int(k), rows))
+    if k == 1:
+        return ((0, rows),)
+    total = int(profile.sum())
+    if total <= 0:
+        return partition_equal_rows(rows, k)
+    cum = np.cumsum(profile)
+    ranges = []
+    prev = 0
+    for i in range(1, k):
+        target = total * i / k
+        j = int(np.searchsorted(cum, target))
+        below = int(cum[j - 1]) if j > 0 else 0
+        above = int(cum[j]) if j < rows else total
+        cut = j if (target - below) <= (above - target) else j + 1
+        cut = max(cut, prev + 1)  # every shard keeps >= 1 row
+        cut = min(cut, rows - (k - i))  # ... including the ones still to come
+        ranges.append((prev, cut))
+        prev = cut
+    ranges.append((prev, rows))
+    return tuple(ranges)
+
+
+# ---------------------------------------------------------------------- #
+# Shard tables
+# ---------------------------------------------------------------------- #
+@cross_process
+@dataclass(frozen=True)
+class ShardSpec:
+    """A layer's shard table: row ranges + the nnz budget of each shard.
+
+    Rides the worker pipe inside shard tasks and the plan manifest inside
+    persisted artifacts, so it is pure picklable data.  Construction
+    validates the tiling invariant — the ranges must cover ``[0, rows)``
+    contiguously, gap- and overlap-free — raising :class:`ValueError`
+    (which ``planio`` surfaces as a typed ``PlanFormatError`` for
+    artifacts that drifted or were tampered with).
+    """
+
+    layer: str
+    rows: int
+    ranges: tuple[tuple[int, int], ...]
+    nnz: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.ranges:
+            raise ValueError(
+                f"shard table for layer {self.layer!r} has no shards"
+            )
+        if len(self.ranges) != len(self.nnz):
+            raise ValueError(
+                f"shard table for layer {self.layer!r} has {len(self.ranges)} "
+                f"ranges but {len(self.nnz)} nnz budgets"
+            )
+        prev = 0
+        for start, stop in self.ranges:
+            if start != prev or stop <= start:
+                raise ValueError(
+                    f"shard table for layer {self.layer!r} does not tile the "
+                    f"row axis: range ({start}, {stop}) after row {prev} "
+                    f"(gaps, overlaps, and empty shards are all invalid)"
+                )
+            prev = stop
+        if prev != self.rows:
+            raise ValueError(
+                f"shard table for layer {self.layer!r} covers rows [0, {prev}) "
+                f"but the layer has {self.rows} rows"
+            )
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.ranges)
+
+    @property
+    def imbalance(self) -> float:
+        """Max-shard over mean-shard nnz (1.0 = perfectly balanced)."""
+        mean = sum(self.nnz) / len(self.nnz)
+        if mean <= 0:
+            return 1.0
+        return max(self.nnz) / mean
+
+    def to_entry(self) -> dict:
+        """Pure-JSON manifest entry (the ``planio`` wire format)."""
+        return {
+            "rows": int(self.rows),
+            "ranges": [[int(a), int(b)] for a, b in self.ranges],
+            "nnz": [int(v) for v in self.nnz],
+        }
+
+    @classmethod
+    def from_entry(cls, layer: str, entry: dict) -> "ShardSpec":
+        return cls(
+            layer=str(layer),
+            rows=int(entry["rows"]),
+            ranges=tuple((int(a), int(b)) for a, b in entry["ranges"]),
+            nnz=tuple(int(v) for v in entry["nnz"]),
+        )
+
+
+def make_shard_spec(
+    layer: str,
+    operand: CompiledOperand,
+    k: int,
+    strategy: str = "nnz",
+    profile: np.ndarray | None = None,
+) -> ShardSpec:
+    """Build a validated :class:`ShardSpec` for one compiled operand.
+
+    ``strategy`` is ``"nnz"`` (equal nnz budgets, the default) or
+    ``"rows"`` (naive equal row counts — kept for comparison benches).
+    """
+    if profile is None:
+        profile = row_nnz_profile(operand)
+    rows = int(profile.shape[0])
+    if strategy == "nnz":
+        ranges = partition_equal_nnz(profile, k)
+    elif strategy == "rows":
+        ranges = partition_equal_rows(rows, k)
+    else:
+        raise ValueError(
+            f"unknown shard strategy {strategy!r}; options: ('nnz', 'rows')"
+        )
+    if not ranges:
+        raise ValueError(f"layer {layer!r} has no rows to shard")
+    nnz = tuple(int(profile[a:b].sum()) for a, b in ranges)
+    return ShardSpec(layer=layer, rows=rows, ranges=ranges, nnz=nnz)
+
+
+# ---------------------------------------------------------------------- #
+# Shard-local compute
+# ---------------------------------------------------------------------- #
+def slice_operand(operand: CompiledOperand, start: int, stop: int) -> CompiledOperand:
+    """Zero-copy row-range view ``[start, stop)`` of a compiled operand.
+
+    Every array in the result is a view into the source operand's storage
+    (which may live in the already-shared shm segment) — no term values,
+    indices, or gather tables are copied.  The sliced operand computes
+    output rows ``[start, stop)`` of the full layer GEMM bit-identically
+    for row-slice-safe backends.
+    """
+    rows = operand.padded_shape[0]
+    start, stop = int(start), int(stop)
+    if not (0 <= start < stop <= rows):
+        raise ValueError(
+            f"shard range ({start}, {stop}) is not inside [0, {rows})"
+        )
+    terms = tuple(
+        replace(
+            t,
+            values=t.values[start:stop],
+            indices=t.indices[start:stop],
+            shape=(stop - start, t.shape[1]),
+        )
+        for t in operand.terms
+    )
+    return CompiledOperand(
+        config=operand.config,
+        original_shape=(stop - start, operand.original_shape[1]),
+        padded_shape=(stop - start, operand.padded_shape[1]),
+        terms=terms,
+        flat_values=tuple(v[start:stop] for v in operand.flat_values),
+        flat_rows=tuple(r[start:stop] for r in operand.flat_rows),
+    )
+
+
+def shard_backend(name: str) -> str:
+    """Backend a shard computes with: ``name`` itself when its kernel is
+    row-slice bit-safe, else the reference gather backend (dense BLAS
+    GEMMs are not bitwise stable under row slicing — their internal
+    blocking changes with the matrix shape)."""
+    return name if get_backend(name).shard_safe else DEFAULT_BACKEND
+
+
+@hot_path
+def shard_partial(
+    plan: "ExecutionPlan",
+    layer_name: str,
+    xt: np.ndarray,
+    start: int,
+    stop: int,
+    slices: dict,
+) -> np.ndarray:
+    """Compute output rows ``[start, stop)`` of one compiled layer's GEMM.
+
+    This is the worker-side kernel of a shard task: it slices the layer's
+    operand (a zero-copy view into the attached shm segment, memoised in
+    ``slices`` keyed by ``(layer, start, stop)``) and runs the layer's
+    backend on it.  ``slices`` must be invalidated when the plan changes
+    (the pools clear it on swap).
+    """
+    lp = plan.layers.get(layer_name)
+    if lp is None or lp.operand is None:
+        raise ValueError(f"no compiled layer {layer_name!r} to run a shard of")
+    key = (layer_name, int(start), int(stop))
+    sliced = slices.get(key)
+    if sliced is None:
+        sliced = slice_operand(lp.operand, start, stop)
+        slices[key] = sliced
+    return sliced.matmul(xt, backend=shard_backend(lp.backend))
+
+
+# ---------------------------------------------------------------------- #
+# Attaching tables to a plan (compile time)
+# ---------------------------------------------------------------------- #
+def plan_shards(plan: "ExecutionPlan", k: int, strategy: str = "nnz") -> dict[str, ShardSpec]:
+    """Attach ``k``-way shard tables to every shardable compiled layer.
+
+    Layers stay untouched when they are not compiled, their backend is
+    not row-slice bit-safe, or they end up with a single shard (``k``
+    clamps to the row count).  Returns the attached tables by layer name.
+    The tables persist with the plan through ``planio``.
+    """
+    specs: dict[str, ShardSpec] = {}
+    for name, lp in plan.layers.items():
+        if lp.mode != "compiled" or lp.operand is None:
+            continue
+        if not get_backend(lp.backend).shard_safe:
+            continue
+        spec = make_shard_spec(name, lp.operand, k, strategy=strategy)
+        if spec.num_shards < 2:
+            continue
+        plan.layers[name] = replace(lp, shards=spec)
+        specs[name] = spec
+    return specs
+
+
+# ---------------------------------------------------------------------- #
+# Choosing K (autotune-style micro-benchmarks)
+# ---------------------------------------------------------------------- #
+def median_time(fn: Callable[[], object], repeats: int = 3) -> float:
+    """Median wall time of ``fn()`` over ``repeats`` runs (one warm-up)."""
+    fn()  # warm-up: pays backend prepare, slice caches, allocator churn
+    times = []
+    for _ in range(max(1, int(repeats))):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    times.sort()
+    return times[len(times) // 2]
+
+
+def candidate_shard_counts(max_shards: int, rows: int) -> tuple[int, ...]:
+    """Shard counts worth timing: ``max_shards`` and its halvings, >= 2."""
+    ks = set()
+    k = int(max_shards)
+    while k >= 2:
+        ks.add(k)
+        k //= 2
+    return tuple(sorted(x for x in ks if x <= int(rows)))
+
+
+@dataclass(frozen=True)
+class ShardDecision:
+    """Outcome of the per-layer K micro-benchmark.
+
+    ``spec is None`` means the layer stays unsharded — its backend is not
+    row-slice safe, or fan-out overhead eats the measured win (tiny
+    layers).  ``timings`` maps candidate shard counts to the predicted
+    critical-path seconds (largest shard compute + per-shard overhead).
+    """
+
+    layer: str
+    spec: ShardSpec | None
+    unsharded_s: float
+    sharded_s: float
+    timings: dict[int, float] = field(default_factory=dict)
+
+    @property
+    def speedup(self) -> float:
+        if self.sharded_s <= 0:
+            return 1.0
+        return self.unsharded_s / self.sharded_s
+
+
+def choose_layer_shards(
+    lp: "LayerPlan",
+    max_shards: int,
+    overhead_s: float = 0.0,
+    sample_cols: int = 8,
+    repeats: int = 3,
+    min_speedup: float = 1.05,
+    seed: int = 0,
+) -> ShardDecision:
+    """Pick a shard count for one layer from measured micro-benchmarks.
+
+    Times the unsharded GEMM against the *largest* shard of each candidate
+    split (the critical path of a perfectly overlapped scatter), charges
+    ``overhead_s`` of measured fan-out cost per shard, and keeps the
+    winner only when it clears ``min_speedup``.  Tiny layers therefore
+    stay unsharded because the numbers say so, not by a size heuristic.
+    """
+    operand = lp.operand
+    if operand is None or int(max_shards) < 2 or not get_backend(lp.backend).shard_safe:
+        return ShardDecision(layer=lp.name, spec=None, unsharded_s=0.0, sharded_s=0.0)
+    rng = np.random.default_rng(seed)
+    dtype = operand.flat_values[0].dtype
+    b = rng.standard_normal((operand.padded_shape[1], int(sample_cols))).astype(dtype)
+    t_full = median_time(lambda: operand.matmul(b, backend=lp.backend), repeats)
+    profile = row_nnz_profile(operand)
+    timings: dict[int, float] = {1: t_full}
+    best_t = t_full
+    best_spec: ShardSpec | None = None
+    for k in candidate_shard_counts(max_shards, operand.padded_shape[0]):
+        spec = make_shard_spec(lp.name, operand, k, profile=profile)
+        if spec.num_shards < 2:
+            continue
+        widest = max(range(spec.num_shards), key=lambda j: spec.nnz[j])
+        sliced = slice_operand(operand, *spec.ranges[widest])
+        t_shard = median_time(lambda: sliced.matmul(b, backend=lp.backend), repeats)
+        predicted = t_shard + overhead_s * spec.num_shards
+        timings[spec.num_shards] = predicted
+        if predicted < best_t:
+            best_t = predicted
+            best_spec = spec
+    if best_spec is None or t_full < best_t * min_speedup:
+        return ShardDecision(
+            layer=lp.name, spec=None, unsharded_s=t_full, sharded_s=t_full, timings=timings
+        )
+    return ShardDecision(
+        layer=lp.name, spec=best_spec, unsharded_s=t_full, sharded_s=best_t, timings=timings
+    )
+
+
+def choose_shard_plan(
+    plan: "ExecutionPlan",
+    max_shards: int,
+    overhead_s: float = 0.0,
+    sample_cols: int = 8,
+    repeats: int = 3,
+    min_speedup: float = 1.05,
+    seed: int = 0,
+) -> dict[str, ShardDecision]:
+    """Per-layer shard decisions for a whole plan (compiled layers only)."""
+    decisions: dict[str, ShardDecision] = {}
+    for name, lp in plan.layers.items():
+        if lp.mode != "compiled" or lp.operand is None:
+            continue
+        decisions[name] = choose_layer_shards(
+            lp,
+            max_shards,
+            overhead_s=overhead_s,
+            sample_cols=sample_cols,
+            repeats=repeats,
+            min_speedup=min_speedup,
+            seed=seed,
+        )
+    return decisions

@@ -1,0 +1,543 @@
+"""Tests for nnz-balanced intra-layer sharding (:mod:`repro.runtime.shard`).
+
+The contract under test: a layer's gather rows are partitioned into K
+shards with equal **nnz** budgets (not equal row counts), the shard table
+is pure picklable data that persists with the plan and is re-validated at
+load, and scattering one forward's shards across a pool then
+concatenating the partials is bit-identical to the unsharded forward on
+every row-slice-safe backend.  On a skewed layer the equal-nnz split must
+measurably beat the naive equal-row split — balanced budgets and a lower
+max-shard wall time on the nnz-proportional ``scatter-csr`` kernel.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import TASDConfig
+from repro.nn.models.resnet import resnet18
+from repro.pruning.magnitude import global_magnitude_prune
+from repro.pruning.targets import gemm_layers
+from repro.runtime import (
+    DEFAULT_BACKEND,
+    OperandCache,
+    PlanExecutor,
+    PlanFormatError,
+    ServingEngine,
+    backend_names,
+    compile_plan,
+    get_backend,
+    load_plan,
+    make_pool,
+    make_shard_spec,
+    partition_equal_nnz,
+    partition_equal_rows,
+    plan_shards,
+    row_nnz_profile,
+    row_nnz_stats,
+    save_plan,
+    slice_operand,
+)
+from repro.runtime.planio import _CHECKSUM_KEY, _MANIFEST_KEY, _manifest_checksum
+from repro.runtime.shard import (
+    ShardSpec,
+    candidate_shard_counts,
+    choose_layer_shards,
+    median_time,
+    shard_backend,
+)
+from repro.tasder.transform import TASDTransform
+
+CFG = TASDConfig.parse("2:4")
+
+
+def _sparse_model():
+    model = resnet18(num_classes=10, base_width=16)
+    global_magnitude_prune(model, 0.6)
+    transform = TASDTransform(
+        weight_configs={name: CFG for name, _ in gemm_layers(model)}
+    )
+    return model, transform
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    """A compiled plan whose shardable layers carry 3-way shard tables.
+
+    The tables are inert for a plain :class:`PlanExecutor` (no dispatcher
+    is installed), so the same plan serves as both the sharded subject and
+    the unsharded reference.
+    """
+    model, transform = _sparse_model()
+    plan = compile_plan(model, transform, shards=3)
+    return model, transform, plan
+
+
+@pytest.fixture()
+def batch():
+    return np.random.default_rng(33).normal(size=(2, 3, 8, 8))
+
+
+def _skewed_operand(rows=512, cols=512, heavy=48):
+    """A compiled operand whose per-row nnz is heavily skewed.
+
+    The first ``heavy`` rows are dense; the rest carry a couple of
+    stragglers each — the shape equal-row sharding is worst at.
+    """
+    rng = np.random.default_rng(7)
+    w = np.zeros((rows, cols))
+    w[:heavy] = rng.normal(size=(heavy, cols))
+    light = rng.normal(size=(rows - heavy, 2))
+    cols_a = rng.integers(0, cols, size=rows - heavy)
+    cols_b = (cols_a + cols // 2) % cols
+    w[np.arange(heavy, rows), cols_a] = light[:, 0]
+    w[np.arange(heavy, rows), cols_b] = light[:, 1]
+    return OperandCache().compress(w, CFG)
+
+
+def _npz_dict(path) -> dict[str, np.ndarray]:
+    with np.load(path, allow_pickle=False) as data:
+        return {k: data[k] for k in data.files}
+
+
+def _rewrite_manifest(path, mutate) -> None:
+    """Edit the artifact's manifest in place, recomputing the checksum
+    (models a *forged* artifact, not a corrupted one)."""
+    arrays = _npz_dict(path)
+    manifest = json.loads(bytes(arrays[_MANIFEST_KEY]).decode())
+    mutate(manifest)
+    manifest_bytes = json.dumps(manifest, sort_keys=True).encode()
+    arrays[_MANIFEST_KEY] = np.frombuffer(manifest_bytes, dtype=np.uint8)
+    arrays[_CHECKSUM_KEY] = np.frombuffer(
+        _manifest_checksum(manifest_bytes).encode(), dtype=np.uint8
+    )
+    with open(path, "wb") as f:
+        np.savez_compressed(f, **arrays)
+
+
+def _shard_entry(manifest) -> dict:
+    return next(
+        e["shards"] for e in manifest["layers"] if e.get("shards") is not None
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Partitioners
+# ---------------------------------------------------------------------- #
+class TestPartitioners:
+    def test_empty_rows_yield_no_shards(self):
+        assert partition_equal_nnz(np.array([], dtype=np.int64), 4) == ()
+        assert partition_equal_rows(0, 4) == ()
+
+    def test_k1_is_identity(self):
+        profile = np.array([5, 0, 9, 1], dtype=np.int64)
+        assert partition_equal_nnz(profile, 1) == ((0, 4),)
+        assert partition_equal_rows(4, 1) == ((0, 4),)
+
+    def test_k_clamps_to_row_count(self):
+        profile = np.array([3, 3, 3], dtype=np.int64)
+        ranges = partition_equal_nnz(profile, 8)
+        assert ranges == ((0, 1), (1, 2), (2, 3))
+        assert partition_equal_rows(3, 8) == ((0, 1), (1, 2), (2, 3))
+
+    def test_all_nnz_in_one_row_isolates_the_hot_row(self):
+        profile = np.zeros(8, dtype=np.int64)
+        profile[3] = 100
+        ranges = partition_equal_nnz(profile, 4)
+        # Tiling invariant holds, every shard keeps >= 1 row, and the hot
+        # row sits alone in its shard — the split cannot balance further.
+        assert ranges[0][0] == 0 and ranges[-1][1] == 8
+        assert all(a < b for a, b in ranges)
+        assert all(ranges[i][1] == ranges[i + 1][0] for i in range(3))
+        hot = next((a, b) for a, b in ranges if a <= 3 < b)
+        assert hot == (3, 4)
+
+    def test_zero_profile_falls_back_to_equal_rows(self):
+        profile = np.zeros(10, dtype=np.int64)
+        assert partition_equal_nnz(profile, 3) == partition_equal_rows(10, 3)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("k", [2, 3, 5, 8])
+    def test_equal_nnz_never_balances_worse_than_equal_rows(self, seed, k):
+        rng = np.random.default_rng(seed)
+        profile = (rng.pareto(1.5, size=64) * 10).astype(np.int64)
+        nnz_ranges = partition_equal_nnz(profile, k)
+        row_ranges = partition_equal_rows(profile.shape[0], k)
+        assert nnz_ranges[0][0] == 0 and nnz_ranges[-1][1] == 64
+        assert all(
+            nnz_ranges[i][1] == nnz_ranges[i + 1][0]
+            for i in range(len(nnz_ranges) - 1)
+        )
+        max_nnz = max(int(profile[a:b].sum()) for a, b in nnz_ranges)
+        max_row = max(int(profile[a:b].sum()) for a, b in row_ranges)
+        assert max_nnz <= max_row
+
+    def test_candidate_counts_are_halvings_clamped_to_rows(self):
+        assert candidate_shard_counts(8, 100) == (2, 4, 8)
+        assert candidate_shard_counts(8, 3) == (2,)
+        assert candidate_shard_counts(1, 100) == ()
+
+
+# ---------------------------------------------------------------------- #
+# Shard tables
+# ---------------------------------------------------------------------- #
+class TestShardTable:
+    def test_roundtrips_through_manifest_entry(self):
+        spec = ShardSpec(
+            layer="conv1", rows=6, ranges=((0, 2), (2, 6)), nnz=(10, 4)
+        )
+        entry = spec.to_entry()
+        assert json.loads(json.dumps(entry)) == entry  # pure-JSON wire form
+        assert ShardSpec.from_entry("conv1", entry) == spec
+
+    def test_gap_overlap_and_empty_shards_refused(self):
+        with pytest.raises(ValueError, match="tile"):
+            ShardSpec(layer="l", rows=6, ranges=((0, 2), (3, 6)), nnz=(1, 1))
+        with pytest.raises(ValueError, match="tile"):
+            ShardSpec(layer="l", rows=6, ranges=((0, 4), (2, 6)), nnz=(1, 1))
+        with pytest.raises(ValueError, match="tile"):
+            ShardSpec(layer="l", rows=6, ranges=((0, 2), (2, 2)), nnz=(1, 1))
+        with pytest.raises(ValueError, match="no shards"):
+            ShardSpec(layer="l", rows=0, ranges=(), nnz=())
+
+    def test_row_count_and_budget_arity_mismatches_refused(self):
+        with pytest.raises(ValueError, match="6 rows"):
+            ShardSpec(layer="l", rows=6, ranges=((0, 2), (2, 5)), nnz=(1, 1))
+        with pytest.raises(ValueError, match="nnz budgets"):
+            ShardSpec(layer="l", rows=6, ranges=((0, 2), (2, 6)), nnz=(1,))
+
+    def test_imbalance_is_max_over_mean(self):
+        spec = ShardSpec(
+            layer="l", rows=4, ranges=((0, 1), (1, 2), (2, 3), (3, 4)),
+            nnz=(4, 4, 4, 4),
+        )
+        assert spec.imbalance == 1.0
+        skew = ShardSpec(
+            layer="l", rows=2, ranges=((0, 1), (1, 2)), nnz=(30, 10)
+        )
+        assert skew.imbalance == pytest.approx(1.5)
+        empty = ShardSpec(layer="l", rows=2, ranges=((0, 1), (1, 2)), nnz=(0, 0))
+        assert empty.imbalance == 1.0
+
+    def test_make_shard_spec_strategies(self):
+        op = _skewed_operand(rows=64, cols=64, heavy=8)
+        nnz_spec = make_shard_spec("l", op, 4)
+        row_spec = make_shard_spec("l", op, 4, strategy="rows")
+        assert nnz_spec.num_shards == row_spec.num_shards == 4
+        assert nnz_spec.imbalance <= row_spec.imbalance
+        assert sum(nnz_spec.nnz) == sum(row_spec.nnz)
+        with pytest.raises(ValueError, match="strategy"):
+            make_shard_spec("l", op, 4, strategy="hash")
+
+
+# ---------------------------------------------------------------------- #
+# Shard-local compute: bit identity per backend
+# ---------------------------------------------------------------------- #
+class TestShardCompute:
+    @pytest.mark.parametrize(
+        "backend",
+        [n for n in backend_names() if get_backend(n).shard_safe],
+    )
+    def test_row_slices_concatenate_bit_identically(self, backend):
+        op = _skewed_operand(rows=96, cols=64, heavy=12)
+        rng = np.random.default_rng(11)
+        b = rng.normal(size=(op.padded_shape[1], 5))
+        full = op.matmul(b, backend=backend)
+        spec = make_shard_spec("l", op, 4)
+        parts = [
+            slice_operand(op, a, z).matmul(b, backend=backend)
+            for a, z in spec.ranges
+        ]
+        np.testing.assert_array_equal(np.concatenate(parts, axis=0), full)
+
+    @pytest.mark.parametrize(
+        "backend",
+        [n for n in backend_names() if not get_backend(n).shard_safe],
+    )
+    def test_unsafe_backends_are_never_sharded(self, backend, compiled):
+        # A forced shard computes with the reference gather kernel instead,
+        # and plan-level sharding skips layers pinned to the unsafe backend.
+        assert shard_backend(backend) == DEFAULT_BACKEND
+        model, transform = _sparse_model()
+        plan = compile_plan(model, transform, backend=backend)
+        assert plan_shards(plan, 4) == {}
+        assert all(lp.shards is None for lp in plan.layers.values())
+
+    def test_slice_bounds_validated(self):
+        op = _skewed_operand(rows=32, cols=32, heavy=4)
+        with pytest.raises(ValueError, match="not inside"):
+            slice_operand(op, 4, 4)
+        with pytest.raises(ValueError, match="not inside"):
+            slice_operand(op, 0, op.padded_shape[0] + 1)
+
+    def test_slices_are_zero_copy_views(self):
+        op = _skewed_operand(rows=32, cols=32, heavy=4)
+        sliced = slice_operand(op, 8, 24)
+        for src, view in zip(op.flat_values, sliced.flat_values):
+            assert np.shares_memory(src, view)
+        for src_t, view_t in zip(op.terms, sliced.terms):
+            assert np.shares_memory(src_t.values, view_t.values)
+            assert np.shares_memory(src_t.indices, view_t.indices)
+
+
+# ---------------------------------------------------------------------- #
+# Equal-nnz vs equal-row on a skewed layer (the acceptance criterion)
+# ---------------------------------------------------------------------- #
+class TestEqualNnzBeatsEqualRows:
+    @pytest.fixture(scope="class")
+    def skewed(self):
+        return _skewed_operand()
+
+    def test_nnz_split_balances_within_tolerance(self, skewed):
+        _, _, _, skew = row_nnz_stats(skewed)
+        assert skew > 2.0  # the layer is genuinely skewed
+        nnz_spec = make_shard_spec("l", skewed, 4)
+        row_spec = make_shard_spec("l", skewed, 4, strategy="rows")
+        assert row_spec.imbalance > 1.5  # equal rows demonstrably unbalanced
+        assert nnz_spec.imbalance <= 1.05
+        assert nnz_spec.imbalance <= row_spec.imbalance
+
+    def test_nnz_split_has_lower_max_shard_wall_time(self, skewed):
+        # scatter-csr is the one kernel whose compute tracks true nnz
+        # (gather backends pay per padded slot), so it is the backend the
+        # wall-time claim is about.
+        rng = np.random.default_rng(5)
+        b = rng.normal(size=(skewed.padded_shape[1], 64))
+        nnz_spec = make_shard_spec("l", skewed, 4)
+        row_spec = make_shard_spec("l", skewed, 4, strategy="rows")
+
+        def max_shard_time(spec) -> float:
+            worst = 0.0
+            for a, z in spec.ranges:
+                sliced = slice_operand(skewed, a, z)
+                worst = max(
+                    worst,
+                    median_time(
+                        lambda s=sliced: s.matmul(b, backend="scatter-csr"),
+                        repeats=5,
+                    ),
+                )
+            return worst
+
+        assert max_shard_time(nnz_spec) < max_shard_time(row_spec)
+
+
+# ---------------------------------------------------------------------- #
+# Plan integration
+# ---------------------------------------------------------------------- #
+class TestPlanShardTables:
+    def test_compile_attaches_tables_to_shardable_layers(self, compiled):
+        _, _, plan = compiled
+        tabled = {n: lp.shards for n, lp in plan.layers.items() if lp.shards}
+        assert tabled
+        for name, spec in tabled.items():
+            lp = plan.layers[name]
+            assert get_backend(lp.backend).shard_safe
+            assert spec.num_shards > 1
+            assert spec.rows == lp.operand.padded_shape[0]
+            profile = row_nnz_profile(lp.operand)
+            assert spec.nnz == tuple(
+                int(profile[a:b].sum()) for a, b in spec.ranges
+            )
+
+    def test_summary_reports_skew_and_shard_tables(self, compiled):
+        _, _, plan = compiled
+        text = plan.summary()
+        assert "row-skew" in text
+        assert "nnz imbalance" in text
+
+    def test_choose_layer_shards_respects_overhead(self, compiled):
+        _, _, plan = compiled
+        lp = max(
+            (p for p in plan.layers.values() if p.operand is not None),
+            key=lambda p: p.operand.total_nnz,
+        )
+        # A prohibitive fan-out overhead must force the layer unsharded —
+        # the decision is measured, not assumed.
+        decision = choose_layer_shards(lp, 4, overhead_s=10.0, repeats=1)
+        assert decision.spec is None
+        assert decision.speedup == pytest.approx(1.0)
+        assert decision.timings[1] == decision.unsharded_s
+
+
+# ---------------------------------------------------------------------- #
+# Pools: scatter/gather dispatch
+# ---------------------------------------------------------------------- #
+class TestPoolScatterGather:
+    def test_thread_pool_sharded_forward_bit_identical(self, compiled, batch):
+        model, _, plan = compiled
+        with PlanExecutor(model, plan) as ex:
+            ref = ex.run(batch)
+        with make_pool("thread", model, plan, workers=2) as pool:
+            out = pool.run_sharded(batch)
+            np.testing.assert_array_equal(out, ref)
+            assert pool.sharded_forwards == 1
+            # Per-shard latency observer fires once per shard task.
+            seen = []
+            out = pool.run_sharded(batch, observer=seen.append)
+            np.testing.assert_array_equal(out, ref)
+            total_shards = sum(
+                lp.shards.num_shards
+                for lp in plan.layers.values()
+                if lp.shards is not None
+            )
+            assert len(seen) == total_shards
+            assert all(t >= 0.0 for t in seen)
+
+    def test_process_pool_sharded_forward_bit_identical(self, compiled, batch):
+        model, _, plan = compiled
+        with PlanExecutor(model, plan) as ex:
+            ref = ex.run(batch)
+        with make_pool("process", model, plan, workers=2) as pool:
+            np.testing.assert_array_equal(pool.run_sharded(batch), ref)
+            assert pool.sharded_forwards == 1
+            # Per-layer GEMM counters from the driver replica merge into
+            # the pool's stats like any worker's.
+            stats = pool.stats()
+            assert stats.batches >= 1
+
+    def test_process_pool_retries_shards_of_a_killed_worker(
+        self, compiled, batch
+    ):
+        model, _, plan = compiled
+        with PlanExecutor(model, plan) as ex:
+            ref = ex.run(batch)
+        with make_pool("process", model, plan, workers=2) as pool:
+            np.testing.assert_array_equal(pool.run_sharded(batch), ref)
+            os.kill(pool.worker_pids()[0], signal.SIGKILL)
+            time.sleep(0.1)
+            # The dead worker's shards requeue onto the survivors; the
+            # forward still returns the exact result.
+            np.testing.assert_array_equal(pool.run_sharded(batch), ref)
+
+    def test_sharding_disabled_falls_back_to_whole_forward(
+        self, compiled, batch
+    ):
+        model, _, plan = compiled
+        with PlanExecutor(model, plan) as ex:
+            ref = ex.run(batch)
+        with make_pool("thread", model, plan, workers=2) as pool:
+            pool.configure_sharding({})  # explicit override: shard nothing
+            np.testing.assert_array_equal(pool.run_sharded(batch), ref)
+            assert pool.sharded_forwards == 0
+            pool.configure_sharding(None)  # back to the plan's own tables
+            np.testing.assert_array_equal(pool.run_sharded(batch), ref)
+            assert pool.sharded_forwards == 1
+
+    def test_auto_shard_decisions_are_measured(self, compiled, batch):
+        model, _, plan = compiled
+        with PlanExecutor(model, plan) as ex:
+            ref = ex.run(batch)
+        with make_pool("thread", model, plan, workers=2) as pool:
+            decisions = pool.auto_shard(max_shards=2, repeats=1)
+            assert decisions  # every compiled layer got a measured verdict
+            assert all(d.unsharded_s > 0.0 for d in decisions.values())
+            chosen = {n for n, d in decisions.items() if d.spec is not None}
+            for name in chosen:
+                assert decisions[name].speedup >= 1.0
+            # Whatever it chose, serving stays bit-identical.
+            np.testing.assert_array_equal(pool.run_sharded(batch), ref)
+
+
+# ---------------------------------------------------------------------- #
+# Serving engine: latency mode + telemetry
+# ---------------------------------------------------------------------- #
+class TestEngineShardedServing:
+    def test_submit_shard_true_is_bit_identical(self, compiled, batch):
+        model, _, plan = compiled
+        with PlanExecutor(model, plan) as ex:
+            ref = ex.run(batch)
+        with make_pool("thread", model, plan, workers=2) as pool:
+            with ServingEngine(pool, max_batch=4, batch_window=0.01) as engine:
+                sharded = engine.submit(batch, shard=True)
+                plain = engine.submit(batch)
+                np.testing.assert_array_equal(sharded.result(timeout=30), ref)
+                np.testing.assert_array_equal(plain.result(timeout=30), ref)
+                snap = engine.metrics_snapshot()
+                assert "tasd_sharded_forwards_total" in snap
+                assert "tasd_shard_retries_total" in snap
+                assert "tasd_shard_latency_seconds" in snap
+                assert "tasd_shard_imbalance_ratio" in snap
+                forwards = snap["tasd_sharded_forwards_total"]["series"]
+                assert sum(s["value"] for s in forwards) >= 1
+                gauges = snap["tasd_shard_imbalance_ratio"]["series"]
+                assert gauges and all(s["value"] >= 1.0 for s in gauges)
+
+    def test_shard_requests_are_not_batched_together(self, compiled, batch):
+        model, _, plan = compiled
+        with PlanExecutor(model, plan) as ex:
+            ref = ex.run(batch)
+        with make_pool("thread", model, plan, workers=2) as pool:
+            with ServingEngine(pool, max_batch=8, batch_window=0.05) as engine:
+                futures = [engine.submit(batch, shard=True) for _ in range(3)]
+                for f in futures:
+                    np.testing.assert_array_equal(f.result(timeout=30), ref)
+                # Three latency-mode requests ran as three singleton
+                # forwards, never coalesced into one throughput batch.
+                assert pool.sharded_forwards == 3
+
+    def test_enable_sharding_requires_a_pool(self, compiled):
+        model, _, plan = compiled
+        with PlanExecutor(model, plan) as ex:
+            with ServingEngine(ex) as engine:
+                with pytest.raises(ValueError, match="scatter/gather"):
+                    engine.enable_sharding()
+
+
+# ---------------------------------------------------------------------- #
+# Persistence: shard tables survive save/load, tampering is refused
+# ---------------------------------------------------------------------- #
+class TestShardTablePersistence:
+    @pytest.fixture()
+    def saved(self, compiled, tmp_path):
+        model, _, plan = compiled
+        return model, plan, save_plan(plan, tmp_path / "plan.npz")
+
+    def test_tables_round_trip_bit_for_bit(self, saved):
+        model, plan, path = saved
+        loaded = load_plan(path, model)
+        originals = {
+            n: lp.shards for n, lp in plan.layers.items() if lp.shards
+        }
+        assert originals
+        for name, spec in originals.items():
+            assert loaded.layers[name].shards == spec
+
+    def test_tampered_nnz_budgets_refused(self, saved):
+        model, _, path = saved
+
+        def bump_budget(manifest):
+            _shard_entry(manifest)["nnz"][0] += 1
+
+        _rewrite_manifest(path, bump_budget)
+        with pytest.raises(PlanFormatError, match="stale or tampered"):
+            load_plan(path, model)
+
+    def test_stale_row_count_refused(self, saved):
+        model, _, path = saved
+
+        def grow_rows(manifest):
+            entry = _shard_entry(manifest)
+            entry["rows"] += 4
+            entry["ranges"][-1][1] += 4  # keep the tiling self-consistent
+            entry["nnz"][-1] += 0
+
+        _rewrite_manifest(path, grow_rows)
+        with pytest.raises(PlanFormatError, match="stale"):
+            load_plan(path, model)
+
+    def test_non_tiling_table_refused(self, saved):
+        model, _, path = saved
+
+        def punch_gap(manifest):
+            _shard_entry(manifest)["ranges"][0][0] = 1
+
+        _rewrite_manifest(path, punch_gap)
+        with pytest.raises(PlanFormatError, match="invalid"):
+            load_plan(path, model)
